@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "harness/tables.hpp"
+
+/// Shared drivers for the table/figure benches. Each bench binary prints the
+/// same rows/series the paper reports (win fractions, heatmap cells, box-plot
+/// quartiles) for one system profile.
+namespace bine::bench {
+
+using harness::Runner;
+
+/// "Comparison with Binomial Trees" table (paper Tables 3, 4, 5): for every
+/// collective, the fraction of (nodes, size) configurations where the best
+/// contiguous Bine variant beats the binomial-family baseline, the
+/// geometric-mean / max gains and drops, and the global-traffic reduction.
+inline void run_binomial_table(Runner& runner, const std::vector<i64>& node_counts,
+                               const std::vector<i64>& sizes,
+                               const std::vector<i64>& large_counts_allreduce_ag = {}) {
+  harness::WinLoss::print_header("Comparison with binomial trees on " +
+                                 runner.profile().name + " (simulated)");
+  for (const sched::Collective coll : coll::all_collectives()) {
+    harness::WinLoss wl;
+    std::vector<i64> counts = node_counts;
+    // Mirror the paper's Leonardo methodology: node counts beyond the user
+    // cap were only measured for allreduce and allgather (Sec. 5.2.1).
+    if (coll == sched::Collective::allreduce || coll == sched::Collective::allgather)
+      counts.insert(counts.end(), large_counts_allreduce_ag.begin(),
+                    large_counts_allreduce_ag.end());
+    for (const i64 nodes : counts) {
+      for (const i64 size : sizes) {
+        const auto bine = runner.best_bine(coll, nodes, size, /*contiguous_only=*/true);
+        const auto binom = runner.best_binomial(coll, nodes, size);
+        wl.add(bine.second.seconds, binom.second.seconds, bine.second.global_bytes,
+               binom.second.global_bytes);
+      }
+    }
+    std::printf("%s\n", wl.row(to_string(coll)).c_str());
+  }
+}
+
+/// Best-algorithm heatmap for one collective (paper Figs. 9a, 10a).
+inline void run_sota_heatmap(Runner& runner, sched::Collective coll,
+                             const std::vector<i64>& node_counts,
+                             const std::vector<i64>& sizes) {
+  std::vector<std::string> cols, rows;
+  for (const i64 n : node_counts) cols.push_back(std::to_string(n));
+  for (const i64 s : sizes) rows.push_back(harness::size_label(s));
+  std::vector<std::vector<harness::HeatCell>> cells(
+      sizes.size(), std::vector<harness::HeatCell>(node_counts.size()));
+  for (size_t si = 0; si < sizes.size(); ++si) {
+    for (size_t ni = 0; ni < node_counts.size(); ++ni) {
+      const auto bine =
+          runner.best_bine(coll, node_counts[ni], sizes[si], /*contiguous_only=*/false);
+      const auto sota =
+          runner.best_of(coll, runner.sota_names(coll), node_counts[ni], sizes[si]);
+      harness::HeatCell& cell = cells[si][ni];
+      cell.bine_best = bine.second.seconds < sota.second.seconds;
+      cell.best_name = sota.first;
+      cell.ratio = sota.second.seconds / bine.second.seconds;
+    }
+  }
+  harness::print_heatmap(std::string(to_string(coll)) + " vs state of the art on " +
+                             runner.profile().name + " (rows: vector size, cols: nodes)",
+                         cols, rows, cells);
+}
+
+/// Box-plot summary of Bine's improvement over the best non-Bine algorithm,
+/// restricted to configurations where Bine wins (paper Figs. 9b, 10b, 11a/b).
+inline void run_sota_boxplots(Runner& runner, const std::vector<i64>& node_counts,
+                              const std::vector<i64>& sizes,
+                              const std::vector<sched::Collective>& colls) {
+  harness::BoxStats::print_header("Bine improvement over best non-Bine algorithm on " +
+                                      runner.profile().name +
+                                      " (configurations where Bine wins)",
+                                  "gain");
+  for (const sched::Collective coll : colls) {
+    std::vector<double> gains;
+    i64 total = 0;
+    for (const i64 nodes : node_counts)
+      for (const i64 size : sizes) {
+        const auto bine = runner.best_bine(coll, nodes, size, false);
+        const auto sota = runner.best_of(coll, runner.sota_names(coll), nodes, size);
+        ++total;
+        if (bine.second.seconds < sota.second.seconds)
+          gains.push_back(100.0 * (sota.second.seconds / bine.second.seconds - 1.0));
+      }
+    const i64 nwins = static_cast<i64>(gains.size());
+    const harness::BoxStats stats = harness::BoxStats::of(std::move(gains));
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s (%.0f%%)", to_string(coll),
+                  total ? 100.0 * static_cast<double>(nwins) / static_cast<double>(total)
+                        : 0.0);
+    std::printf("%s\n", stats.row(label).c_str());
+  }
+}
+
+}  // namespace bine::bench

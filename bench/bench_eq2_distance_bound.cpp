@@ -1,0 +1,21 @@
+// Eq. 2 / Sec. 2.4.1: delta_bine(i) / delta_binomial(i) -> 2/3, which bounds
+// the global-traffic reduction at 33%.
+#include <cstdio>
+
+#include "core/distance_theory.hpp"
+
+using namespace bine;
+
+int main() {
+  std::printf("=== Eq. 2: per-step distance ratio delta_bine / delta_binomial ===\n");
+  std::printf("%6s %16s %16s %8s\n", "s-i", "delta_binomial", "delta_bine", "ratio");
+  const int s = 24;
+  for (int step = s - 1; step >= 0; --step) {
+    std::printf("%6d %16lld %16lld %8.4f\n", s - step,
+                static_cast<long long>(core::delta_binomial(step, s)),
+                static_cast<long long>(core::delta_bine(step, s)),
+                core::distance_ratio(step, s));
+  }
+  std::printf("\nAsymptotic ratio = 2/3 (maximum global-traffic reduction 33%%).\n");
+  return 0;
+}

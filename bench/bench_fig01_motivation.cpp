@@ -1,0 +1,38 @@
+// Figure 1: global-link traffic of a broadcast over an 8-node 2:1
+// oversubscribed fat tree (2 nodes per leaf switch). Distance-doubling
+// binomial forwards 6n bytes over global links, distance-halving only 3n.
+#include <cstdio>
+
+#include "coll/registry.hpp"
+#include "net/simulate.hpp"
+#include "net/topology.hpp"
+
+using namespace bine;
+
+int main() {
+  std::printf("=== Fig. 1: broadcast global-link traffic, 8 nodes, 2:1 fat tree ===\n");
+  const i64 n = 1 << 20;  // 1 MiB vector
+  net::FatTree topo(/*num_leaves=*/4, /*nodes_per_leaf=*/2, /*oversub=*/2, 25e9);
+  const net::Placement pl = net::Placement::identity(8);
+
+  coll::Config cfg;
+  cfg.p = 8;
+  cfg.elem_count = n / 4;
+  cfg.elem_size = 4;
+
+  std::printf("%-28s %14s %14s\n", "Algorithm", "GlobalBytes/n", "LocalMsgs");
+  for (const char* name : {"binomial", "binomial_dh", "bine"}) {
+    const auto& entry = coll::find_algorithm(sched::Collective::bcast, name);
+    const sched::Schedule sch = entry.make(cfg);
+    const net::TrafficStats t = net::measure_traffic(sch, topo, pl);
+    // Each inter-leaf message crosses one uplink and one downlink; report the
+    // per-direction global volume in units of the vector size n, as Fig. 1.
+    std::printf("%-28s %14.1f %14lld\n", sch.algorithm.c_str(),
+                static_cast<double>(t.global_bytes) / 2.0 / static_cast<double>(n),
+                static_cast<long long>(t.messages));
+  }
+  std::printf("\nExpected from the paper: distance-doubling = 6n, distance-halving = 3n.\n"
+              "Bine matches the distance-halving bound while also shortening the\n"
+              "modular distances used at every step.\n");
+  return 0;
+}

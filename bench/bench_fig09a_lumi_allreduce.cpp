@@ -1,0 +1,12 @@
+// Figure 9a: allreduce heatmap on LUMI -- per (nodes, vector size) cell,
+// either Bine's speedup over the next-best algorithm or the letter of the
+// winning state-of-the-art algorithm.
+#include "bench_common.hpp"
+
+int main() {
+  bine::harness::Runner runner(bine::net::lumi_profile());
+  bine::bench::run_sota_heatmap(runner, bine::sched::Collective::allreduce,
+                                {16, 32, 64, 128, 256, 512, 1024},
+                                bine::harness::paper_vector_sizes(false));
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 9b: per-collective box plots of Bine's improvement over the best
+// state-of-the-art algorithm on LUMI, restricted to winning configurations.
+#include "bench_common.hpp"
+
+int main() {
+  bine::harness::Runner runner(bine::net::lumi_profile());
+  bine::bench::run_sota_boxplots(runner, {16, 64, 256, 1024},
+                                 bine::harness::paper_vector_sizes(false),
+                                 bine::coll::all_collectives());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 10: allreduce heatmap (a) and per-collective box plots (b) against
+// the state of the art on Leonardo (Dragonfly+).
+#include "bench_common.hpp"
+
+int main() {
+  bine::harness::Runner runner(bine::net::leonardo_profile());
+  bine::bench::run_sota_heatmap(runner, bine::sched::Collective::allreduce,
+                                {16, 32, 64, 128, 256, 512, 1024},
+                                bine::harness::paper_vector_sizes(false));
+  std::printf("\n");
+  bine::bench::run_sota_boxplots(runner, {16, 64, 256},
+                                 bine::harness::paper_vector_sizes(false),
+                                 bine::coll::all_collectives());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 11a: per-collective box plots against the state of the art on
+// MareNostrum 5 (2:1 oversubscribed fat tree), up to 64 nodes.
+#include "bench_common.hpp"
+
+int main() {
+  bine::harness::Runner runner(bine::net::mn5_profile());
+  bine::bench::run_sota_boxplots(runner, {4, 8, 16, 32, 64},
+                                 bine::harness::paper_vector_sizes(false),
+                                 bine::coll::all_collectives());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 11b / Sec. 5.4: torus-optimized collectives on Fugaku-like 3D
+// sub-tori (2x2x2, 4x4x4, 8x8x8). Compares the multi-port Bine allreduce
+// against the Bucket (multi-dimensional ring) baseline, the single-port
+// torus Bine, and the topology-agnostic algorithms Fujitsu MPI would fall
+// back to.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace bine;
+
+int main() {
+  std::printf("=== Fig. 11b: torus collectives on Fugaku-like sub-tori ===\n");
+  const std::vector<std::vector<i64>> shapes = {{2, 2, 2}, {4, 4, 4}, {8, 8, 8}};
+  for (const auto& dims : shapes) {
+    i64 p = 1;
+    for (const i64 d : dims) p *= d;
+    harness::Runner runner(net::fugaku_profile(dims), /*spread_placement=*/false);
+    runner.torus_dims = dims;
+    std::printf("\n--- %lldx%lldx%lld (%lld nodes) ---\n",
+                static_cast<long long>(dims[0]), static_cast<long long>(dims[1]),
+                static_cast<long long>(dims[2]), static_cast<long long>(p));
+    std::printf("%-10s %24s %14s %14s\n", "size", "winner", "bine_torus_mp",
+                "vs bucket");
+    for (const i64 size : harness::paper_vector_sizes(false)) {
+      const auto multiport = runner.run(
+          sched::Collective::allreduce,
+          coll::find_algorithm(sched::Collective::allreduce, "bine_torus_multiport"), p,
+          size);
+      const auto bucket = runner.run(
+          sched::Collective::allreduce,
+          coll::find_algorithm(sched::Collective::allreduce, "bucket"), p, size);
+      const auto flat = runner.best_of(sched::Collective::allreduce,
+                                       {"recursive_doubling", "rabenseifner", "ring"}, p,
+                                       size);
+      const double best_other = std::min(bucket.seconds, flat.second.seconds);
+      const char* winner = multiport.seconds < best_other ? "bine_torus_multiport"
+                           : (bucket.seconds < flat.second.seconds ? "bucket"
+                                                                   : flat.first.c_str());
+      std::printf("%-10s %24s %13.1fx %13.2fx\n", harness::size_label(size).c_str(),
+                  winner, best_other / multiport.seconds,
+                  bucket.seconds / multiport.seconds);
+    }
+  }
+  std::printf("\nBox-plot summaries (allreduce/reduce-scatter/allgather vs all "
+              "non-Bine algorithms) on the 8x8x8 torus:\n");
+  harness::Runner runner(net::fugaku_profile({8, 8, 8}), false);
+  runner.torus_dims = {8, 8, 8};
+  bench::run_sota_boxplots(runner, {512}, harness::paper_vector_sizes(false),
+                           {sched::Collective::allreduce,
+                            sched::Collective::reduce_scatter,
+                            sched::Collective::allgather});
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 14 / Appendix B: which non-contiguous-data strategy (B = block-by-
+// block, P = permute, S = send, T = two transmissions) wins for the Bine
+// allgather on a LUMI-like system, per (nodes, vector size) cell, and its
+// gain over the standard recursive-doubling butterfly.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace bine;
+
+int main() {
+  std::printf("=== Fig. 14: allgather non-contiguous strategies on LUMI ===\n");
+  harness::Runner runner(net::lumi_profile());
+  const std::vector<i64> nodes = {8, 16, 32, 64, 128, 256, 512, 1024};
+  const std::vector<i64> sizes = harness::paper_vector_sizes(false);
+  const std::vector<std::pair<const char*, char>> strategies = {
+      {"bine_block", 'B'}, {"bine_permute", 'P'}, {"bine_send", 'S'},
+      {"bine_two_trans", 'T'}};
+
+  std::printf("%-10s", "");
+  for (const i64 n : nodes) std::printf(" %9lld", static_cast<long long>(n));
+  std::printf("\n");
+  for (const i64 size : sizes) {
+    std::printf("%-10s", harness::size_label(size).c_str());
+    for (const i64 n : nodes) {
+      char best = '?';
+      double best_time = 1e300;
+      for (const auto& [name, letter] : strategies) {
+        const auto& entry = coll::find_algorithm(sched::Collective::allgather, name);
+        if (entry.pow2_only && !is_pow2(n)) continue;
+        const double t = runner.run(sched::Collective::allgather, entry, n, size).seconds;
+        if (t < best_time) {
+          best_time = t;
+          best = letter;
+        }
+      }
+      const double baseline =
+          runner
+              .run(sched::Collective::allgather,
+                   coll::find_algorithm(sched::Collective::allgather, "recursive_doubling"),
+                   n, size)
+              .seconds;
+      std::printf("  %c %5.2fx", best, baseline / best_time);
+    }
+    std::printf("\n");
+  }
+  std::printf("(B=block-by-block, P=permute, S=send, T=two transmissions; the factor is "
+              "the gain over the standard binomial butterfly)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Micro-benchmarks of the core primitives (google-benchmark): the negabinary
+// conversions, partner computations, schedule generation, routing, and the
+// in-process executor.
+#include <benchmark/benchmark.h>
+
+#include "coll/registry.hpp"
+#include "core/butterfly.hpp"
+#include "core/negabinary.hpp"
+#include "core/nu.hpp"
+#include "core/tree.hpp"
+#include "net/profiles.hpp"
+#include "net/simulate.hpp"
+#include "runtime/executor.hpp"
+
+using namespace bine;
+
+namespace {
+
+void BM_Rank2Nb(benchmark::State& state) {
+  const i64 p = state.range(0);
+  i64 r = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::rank2nb(r, p));
+    r = (r + 7) & (p - 1);
+  }
+}
+BENCHMARK(BM_Rank2Nb)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_Nb2Rank(benchmark::State& state) {
+  const i64 p = state.range(0);
+  u64 nb = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::nb2rank(nb, p));
+    nb = (nb + 5) & static_cast<u64>(p - 1);
+  }
+}
+BENCHMARK(BM_Nb2Rank)->Arg(64)->Arg(1 << 20);
+
+void BM_NuInverse(benchmark::State& state) {
+  const i64 p = state.range(0);
+  u64 v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::nu_inverse(v, p));
+    v = (v + 3) & static_cast<u64>(p - 1);
+  }
+}
+BENCHMARK(BM_NuInverse)->Arg(4096);
+
+void BM_ButterflyPartner(benchmark::State& state) {
+  const i64 p = state.range(0);
+  const int s = log2_exact(p);
+  Rank r = 0;
+  int step = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::butterfly_partner(core::ButterflyVariant::bine_dd, r, step, p));
+    r = (r + 1) & (p - 1);
+    step = (step + 1) % s;
+  }
+}
+BENCHMARK(BM_ButterflyPartner)->Arg(4096);
+
+void BM_BuildTree(benchmark::State& state) {
+  const i64 p = state.range(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::build_tree(core::TreeVariant::bine_dh, p, 0));
+}
+BENCHMARK(BM_BuildTree)->Arg(256)->Arg(4096);
+
+void BM_GenerateAllreduce(benchmark::State& state) {
+  coll::Config cfg;
+  cfg.p = state.range(0);
+  cfg.elem_count = 1 << 16;
+  const auto& entry = coll::find_algorithm(sched::Collective::allreduce, "bine_send");
+  for (auto _ : state) benchmark::DoNotOptimize(entry.make(cfg));
+}
+BENCHMARK(BM_GenerateAllreduce)->Arg(64)->Arg(512);
+
+void BM_SimulateAllreduce(benchmark::State& state) {
+  coll::Config cfg;
+  cfg.p = state.range(0);
+  cfg.elem_count = 1 << 16;
+  const auto sch =
+      coll::find_algorithm(sched::Collective::allreduce, "bine_send").make(cfg);
+  const auto profile = net::lumi_profile();
+  const auto topo = profile.build(cfg.p);
+  const auto pl = net::Placement::identity(cfg.p);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::simulate(sch, *topo, pl, profile.cost));
+}
+BENCHMARK(BM_SimulateAllreduce)->Arg(64)->Arg(512);
+
+void BM_ExecuteAllreduce(benchmark::State& state) {
+  coll::Config cfg;
+  cfg.p = state.range(0);
+  cfg.elem_count = 4 * cfg.p;
+  cfg.elem_size = 8;
+  const auto sch =
+      coll::find_algorithm(sched::Collective::allreduce, "bine_send").make(cfg);
+  std::vector<std::vector<u64>> inputs(static_cast<size_t>(cfg.p));
+  for (i64 r = 0; r < cfg.p; ++r)
+    inputs[static_cast<size_t>(r)].assign(static_cast<size_t>(cfg.elem_count),
+                                          static_cast<u64>(r));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(runtime::execute<u64>(sch, runtime::ReduceOp::sum, inputs));
+}
+BENCHMARK(BM_ExecuteAllreduce)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

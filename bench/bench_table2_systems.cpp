@@ -1,0 +1,21 @@
+// Table 2: the system models used throughout the evaluation.
+#include <cstdio>
+
+#include "net/profiles.hpp"
+
+using namespace bine;
+
+int main() {
+  std::printf("=== Table 2: simulated system models ===\n");
+  std::printf("%-10s %s\n", "System", "Model");
+  for (const auto& profile : net::main_profiles())
+    std::printf("%-10s %s\n", profile.name.c_str(), profile.description.c_str());
+  const auto fugaku = net::fugaku_profile({8, 8, 8});
+  std::printf("%-10s %s\n", fugaku.name.c_str(), fugaku.description.c_str());
+  const auto gpu = net::multigpu_profile();
+  std::printf("%-10s %s\n", gpu.name.c_str(), gpu.description.c_str());
+  std::printf("\nPaper systems: LUMI (Dragonfly, Cray MPICH), Leonardo (Dragonfly+, "
+              "Open MPI),\nMareNostrum 5 (2:1 fat tree, Open MPI), Fugaku (6D torus, "
+              "Fujitsu MPI).\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Table 3: Bine vs binomial trees on LUMI (Dragonfly), 16-1024 nodes,
+// 32 B - 512 MiB vectors, all eight collectives.
+#include "bench_common.hpp"
+
+int main() {
+  bine::harness::Runner runner(bine::net::lumi_profile());
+  bine::bench::run_binomial_table(runner, {16, 64, 256, 1024},
+                                  bine::harness::paper_vector_sizes(false));
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Table 4: Bine vs binomial trees on Leonardo (Dragonfly+), 16-2048 nodes.
+#include "bench_common.hpp"
+
+int main() {
+  bine::harness::Runner runner(bine::net::leonardo_profile());
+  bine::bench::run_binomial_table(runner, {16, 64, 256},
+                                  bine::harness::paper_vector_sizes(false),
+                                  /*allreduce/allgather only:*/ {1024, 2048});
+  return 0;
+}

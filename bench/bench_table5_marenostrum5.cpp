@@ -1,0 +1,10 @@
+// Table 5: Bine vs binomial trees on MareNostrum 5 (2:1 oversubscribed fat
+// tree), 4-64 nodes (the maximum allowed on the real system).
+#include "bench_common.hpp"
+
+int main() {
+  bine::harness::Runner runner(bine::net::mn5_profile());
+  bine::bench::run_binomial_table(runner, {4, 8, 16, 32, 64},
+                                  bine::harness::paper_vector_sizes(false));
+  return 0;
+}

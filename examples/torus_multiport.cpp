@@ -1,0 +1,49 @@
+// Torus demo (Appendix D): run the single-port and multi-port torus Bine
+// allreduce on a 4x4x4 torus, verify correctness over real buffers, and show
+// the per-direction link utilization benefit of multi-port scheduling.
+#include <cstdio>
+#include <vector>
+
+#include "coll/torus_colls.hpp"
+#include "net/simulate.hpp"
+#include "net/topology.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/verify.hpp"
+
+using namespace bine;
+
+int main() {
+  coll::Config cfg;
+  cfg.p = 64;
+  cfg.torus_dims = {4, 4, 4};
+  // Large vector: multi-port wins in the bandwidth-bound regime (small
+  // vectors are alpha-dominated and pay for the extra per-step messages).
+  cfg.elem_count = 1 << 19;
+  cfg.elem_size = 8;
+
+  std::vector<std::vector<u64>> inputs(64);
+  for (i64 r = 0; r < 64; ++r) {
+    inputs[static_cast<size_t>(r)].resize(static_cast<size_t>(cfg.elem_count));
+    for (i64 e = 0; e < cfg.elem_count; ++e)
+      inputs[static_cast<size_t>(r)][static_cast<size_t>(e)] =
+          static_cast<u64>(r * 131 + e);
+  }
+
+  net::Torus topo({4, 4, 4}, 6.8e9);
+  const net::Placement pl = net::Placement::identity(64);
+  const net::CostParams cost{};
+
+  for (const bool multiport : {false, true}) {
+    const sched::Schedule sch = multiport ? coll::allreduce_torus_bine_multiport(cfg)
+                                          : coll::allreduce_torus_bine(cfg);
+    const auto exec = runtime::execute<u64>(sch, runtime::ReduceOp::sum, inputs);
+    const std::string err =
+        runtime::verify<u64>(sch, runtime::ReduceOp::sum, inputs, exec);
+    const auto sim = net::simulate(sch, topo, pl, cost);
+    std::printf("%-28s: %s, steps=%zu, simulated time=%.1f us\n", sch.algorithm.c_str(),
+                err.empty() ? "verified OK" : err.c_str(), sim.steps, sim.seconds * 1e6);
+  }
+  std::printf("\nThe multi-port variant drives all 2D NICs concurrently "
+              "(Appendix D.4), cutting the serialized phase time.\n");
+  return 0;
+}

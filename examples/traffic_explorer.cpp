@@ -1,0 +1,44 @@
+// Traffic explorer: compare every registered algorithm for one collective on
+// one system profile, printing simulated time and per-class traffic.
+//
+// Usage: traffic_explorer [collective] [nodes] [size_bytes] [system]
+//   e.g.  traffic_explorer allreduce 256 1048576 lumi
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/runner.hpp"
+
+using namespace bine;
+
+int main(int argc, char** argv) {
+  const std::string coll_name = argc > 1 ? argv[1] : "allreduce";
+  const i64 nodes = argc > 2 ? std::atoll(argv[2]) : 256;
+  const i64 size = argc > 3 ? std::atoll(argv[3]) : (1 << 20);
+  const std::string system = argc > 4 ? argv[4] : "lumi";
+
+  sched::Collective coll = sched::Collective::allreduce;
+  for (const sched::Collective c : coll::all_collectives())
+    if (coll_name == to_string(c)) coll = c;
+
+  net::SystemProfile profile = net::lumi_profile();
+  if (system == "leonardo") profile = net::leonardo_profile();
+  if (system == "mn5") profile = net::mn5_profile();
+
+  harness::Runner runner(profile);
+  std::printf("%s on %s, %lld nodes, %s vectors\n", to_string(coll),
+              profile.name.c_str(), static_cast<long long>(nodes),
+              harness::size_label(size).c_str());
+  std::printf("%-22s %12s %14s %14s %8s\n", "algorithm", "time (us)", "global bytes",
+              "local bytes", "steps");
+  for (const auto& entry : coll::algorithms_for(coll)) {
+    if (entry.pow2_only && !is_pow2(nodes)) continue;
+    if (entry.specialized) continue;
+    const harness::RunResult r = runner.run(coll, entry, nodes, size);
+    std::printf("%-22s %12.1f %14lld %14lld %8zu\n", entry.name.c_str(),
+                r.seconds * 1e6, static_cast<long long>(r.global_bytes),
+                static_cast<long long>(r.total_bytes - r.global_bytes), r.steps);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#include "alloc/allocation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bine::alloc {
+
+JobAllocation SyntheticScheduler::sample_job(i64 size) {
+  assert(size <= machine_.num_nodes());
+  const i64 total = machine_.num_nodes();
+  std::vector<char> busy(static_cast<size_t>(total), 0);
+
+  // Occupy random contiguous chunks (other jobs) until the busy fraction is
+  // reached, always leaving room for this job.
+  const i64 max_busy =
+      std::min<i64>(static_cast<i64>(busy_fraction_ * static_cast<double>(total)),
+                    total - size);
+  i64 occupied = 0;
+  std::uniform_int_distribution<i64> start_dist(0, total - 1);
+  std::geometric_distribution<i64> len_dist(0.12);  // mean chunk ~ 8 nodes
+  while (occupied < max_busy) {
+    const i64 start = start_dist(rng_);
+    const i64 len = std::min<i64>(1 + len_dist(rng_), max_busy - occupied);
+    for (i64 k = 0; k < len; ++k) {
+      char& b = busy[static_cast<size_t>((start + k) % total)];
+      if (!b) {
+        b = 1;
+        ++occupied;
+      }
+    }
+  }
+
+  // Slurm-like block distribution: first `size` free nodes in node order,
+  // starting from a random offset (jobs do not all start at node 0).
+  JobAllocation job;
+  job.node_of_rank.reserve(static_cast<size_t>(size));
+  const i64 offset = start_dist(rng_);
+  for (i64 k = 0; k < total && static_cast<i64>(job.node_of_rank.size()) < size; ++k) {
+    const i64 node = (offset + k) % total;
+    if (!busy[static_cast<size_t>(node)]) job.node_of_rank.push_back(node);
+  }
+  assert(static_cast<i64>(job.node_of_rank.size()) == size);
+  // Ranks sorted by hostname (node id), as the paper does on real systems.
+  std::sort(job.node_of_rank.begin(), job.node_of_rank.end());
+  return job;
+}
+
+}  // namespace bine::alloc

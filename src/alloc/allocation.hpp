@@ -1,0 +1,53 @@
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// Synthetic job allocations for the Fig. 5 study. The paper harvested two
+/// weeks of Slurm data from Leonardo and LUMI; we model the salient features
+/// of such allocations instead (see DESIGN.md): node names are numbered
+/// consecutively across groups (so sorting by hostname = block order), the
+/// scheduler walks the free list in order (Slurm block distribution), and the
+/// free list is fragmented by previously running jobs.
+namespace bine::alloc {
+
+struct Machine {
+  i64 num_groups = 0;
+  i64 nodes_per_group = 0;
+  [[nodiscard]] i64 num_nodes() const { return num_groups * nodes_per_group; }
+  [[nodiscard]] i64 group_of(i64 node) const { return node / nodes_per_group; }
+};
+
+/// One job's placement: rank r runs on node_of_rank[r] (one rank per node,
+/// ranks sorted by hostname as in Sec. 2.2).
+struct JobAllocation {
+  std::vector<i64> node_of_rank;
+  /// Group of each rank on `m`.
+  [[nodiscard]] std::vector<i64> groups_on(const Machine& m) const {
+    std::vector<i64> g;
+    g.reserve(node_of_rank.size());
+    for (const i64 n : node_of_rank) g.push_back(m.group_of(n));
+    return g;
+  }
+};
+
+/// Generates job allocations on a machine whose free list is fragmented:
+/// a fraction of nodes is already busy (in random contiguous chunks), and a
+/// job of `size` nodes takes the first free nodes in node order.
+class SyntheticScheduler {
+ public:
+  SyntheticScheduler(Machine machine, double busy_fraction, u64 seed)
+      : machine_(machine), busy_fraction_(busy_fraction), rng_(seed) {}
+
+  /// Sample one job of `size` nodes under a fresh random occupancy.
+  [[nodiscard]] JobAllocation sample_job(i64 size);
+
+ private:
+  Machine machine_;
+  double busy_fraction_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace bine::alloc

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "coll/config.hpp"
+#include "sched/schedule.hpp"
+
+/// Alltoall algorithms (paper Sec. 4.4) plus the Bruck-family allgather.
+namespace bine::coll {
+
+/// Bruck's logarithmic alltoall: store-and-forward along +2^k hops; any p.
+[[nodiscard]] sched::Schedule alltoall_bruck(const Config& cfg);
+
+/// Bine alltoall (Sec. 4.4): Bruck-style store-and-forward but hopping along
+/// the distance-doubling Bine butterfly; a block with relative destination l
+/// is routed through the steps named by the set bits of nu(l), which lands it
+/// exactly on its destination (Appendix A). Power-of-two p.
+[[nodiscard]] sched::Schedule alltoall_bine(const Config& cfg);
+
+/// Pairwise-exchange linear alltoall: p-1 direct rounds; any p.
+[[nodiscard]] sched::Schedule alltoall_pairwise(const Config& cfg);
+
+/// Bruck's allgather (doubling store-and-forward, any p).
+[[nodiscard]] sched::Schedule allgather_bruck(const Config& cfg);
+
+}  // namespace bine::coll

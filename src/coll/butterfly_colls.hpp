@@ -1,0 +1,64 @@
+#pragma once
+
+#include "coll/config.hpp"
+#include "sched/schedule.hpp"
+
+/// Butterfly-based collectives: reduce-scatter, allgather and allreduce
+/// (paper Sec. 4.3 and 4.4), for both the Bine butterflies of Sec. 3 and the
+/// standard recursive-doubling / recursive-halving baselines, plus Swing.
+///
+/// Non-power-of-two communicators use Appendix C's base technique: the last
+/// p - p' ranks fold their contribution onto the first p - p' ranks before
+/// the butterfly and receive their share back afterwards.
+namespace bine::coll {
+
+/// Strategies for the non-contiguous block sets produced by Bine butterflies
+/// (paper Sec. 4.3.1, compared in Fig. 14).
+enum class NoncontigStrategy {
+  block_by_block,    ///< one transmission per block (B)
+  permute,           ///< pre/post local reverse(nu) shuffle, contiguous sends (P)
+  send,              ///< send contiguous as-if-permuted + one fix-up exchange (S)
+  two_transmission,  ///< use the opposite butterfly; <=2 circular segments (T)
+};
+
+[[nodiscard]] constexpr const char* to_string(NoncontigStrategy s) noexcept {
+  switch (s) {
+    case NoncontigStrategy::block_by_block: return "block";
+    case NoncontigStrategy::permute: return "permute";
+    case NoncontigStrategy::send: return "send";
+    case NoncontigStrategy::two_transmission: return "two_trans";
+  }
+  return "?";
+}
+
+/// Bine reduce-scatter: vector-halving butterfly, distance-doubling by
+/// default (Sec. 4.3) or distance-halving under two_transmission.
+[[nodiscard]] sched::Schedule reduce_scatter_bine(const Config& cfg, NoncontigStrategy st);
+
+/// Bine allgather: the exact time-reversal of the reduce-scatter.
+[[nodiscard]] sched::Schedule allgather_bine(const Config& cfg, NoncontigStrategy st);
+
+/// Bine large-vector allreduce: reduce-scatter followed by allgather with the
+/// permute / send fix-ups cancelled between the phases (Sec. 4.4).
+[[nodiscard]] sched::Schedule allreduce_bine_large(const Config& cfg, NoncontigStrategy st);
+
+/// Bine small-vector allreduce: recursive doubling over Bine butterflies,
+/// full vector per step (Sec. 4.4).
+[[nodiscard]] sched::Schedule allreduce_bine_small(const Config& cfg);
+
+/// Standard baselines.
+[[nodiscard]] sched::Schedule reduce_scatter_recursive_halving(const Config& cfg);
+[[nodiscard]] sched::Schedule allgather_recursive_doubling(const Config& cfg);
+[[nodiscard]] sched::Schedule allreduce_recursive_doubling(const Config& cfg);
+/// Rabenseifner: recursive-halving reduce-scatter + recursive-doubling
+/// allgather (the standard large-vector butterfly allreduce).
+[[nodiscard]] sched::Schedule allreduce_rabenseifner(const Config& cfg);
+
+/// Swing [17]: same peer sequence as the distance-doubling Bine butterfly but
+/// always transmitting per-block (non-contiguous) data -- the contrast drawn
+/// in Sec. 4.4.
+[[nodiscard]] sched::Schedule reduce_scatter_swing(const Config& cfg);
+[[nodiscard]] sched::Schedule allgather_swing(const Config& cfg);
+[[nodiscard]] sched::Schedule allreduce_swing(const Config& cfg);
+
+}  // namespace bine::coll

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "coll/config.hpp"
+#include "sched/schedule.hpp"
+
+/// Hierarchical multi-GPU allreduce (paper Sec. 6.2): an intra-node
+/// reduce-scatter over the fully connected GPUs of each node, an inter-node
+/// Bine allreduce among GPUs with the same local index on the shard each GPU
+/// owns, and an intra-node allgather to rebuild the full vector.
+namespace bine::coll {
+
+/// `gpus_per_node` GPUs per node (4 on Leonardo / MareNostrum 5). Requires
+/// p % gpus_per_node == 0 and a power-of-two node count; degenerates to the
+/// flat small-vector Bine allreduce when p < 2 * gpus_per_node.
+[[nodiscard]] sched::Schedule allreduce_hierarchical_bine(const Config& cfg,
+                                                          i64 gpus_per_node = 4);
+
+}  // namespace bine::coll

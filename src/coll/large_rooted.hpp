@@ -1,0 +1,36 @@
+#pragma once
+
+#include "coll/config.hpp"
+#include "sched/schedule.hpp"
+
+/// Large-vector rooted collectives (paper Sec. 4.5):
+///   broadcast = scatter + allgather, reduce = reduce-scatter + gather.
+///
+/// The Bine variants pair a distance-doubling scatter (big chunks over short
+/// distances first) with a distance-halving allgather, keeping transmissions
+/// contiguous through the reverse(nu) position aliasing; the standard
+/// variants reproduce MPICH's scatter + recursive-doubling-allgather
+/// broadcast [45, 49] and the usual reduce-scatter + gather reduce.
+namespace bine::coll {
+
+/// MPICH-style large-vector broadcast: binomial_dh scatter, then
+/// recursive-doubling allgather.
+[[nodiscard]] sched::Schedule bcast_scatter_allgather_std(const Config& cfg);
+
+/// Bine large-vector broadcast: distance-doubling Bine scatter (aliased,
+/// contiguous) + distance-halving Bine allgather for power-of-two p;
+/// falls back to bine_dh scatter + two-transmission allgather otherwise.
+[[nodiscard]] sched::Schedule bcast_scatter_allgather_bine(const Config& cfg);
+
+/// Standard large-vector reduce: recursive-halving reduce-scatter +
+/// binomial_dh gather.
+[[nodiscard]] sched::Schedule reduce_rs_gather_std(const Config& cfg);
+
+/// Bine large-vector reduce: distance-doubling Bine butterfly reduce-scatter
+/// + gather up the reversed distance-doubling Bine tree; the gather inverts
+/// the block aliasing introduced by the reduce-scatter so every transmission
+/// stays contiguous (Sec. 4.5). Power-of-two p uses aliasing; otherwise the
+/// two-transmission reduce-scatter + bine_dh gather fallback.
+[[nodiscard]] sched::Schedule reduce_rs_gather_bine(const Config& cfg);
+
+}  // namespace bine::coll

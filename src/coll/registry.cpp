@@ -1,0 +1,194 @@
+#include "coll/registry.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "coll/alltoall_colls.hpp"
+#include "coll/butterfly_colls.hpp"
+#include "coll/hierarchical.hpp"
+#include "coll/large_rooted.hpp"
+#include "coll/ring_colls.hpp"
+#include "coll/torus_colls.hpp"
+#include "coll/tree_colls.hpp"
+#include "core/tree.hpp"
+
+namespace bine::coll {
+
+using sched::Collective;
+
+namespace {
+
+std::map<Collective, std::vector<AlgorithmEntry>> build_registry() {
+  using core::TreeVariant;
+  std::map<Collective, std::vector<AlgorithmEntry>> reg;
+
+  auto tree = [](Collective c, TreeVariant v) {
+    return [c, v](const Config& cfg) {
+      switch (c) {
+        case Collective::bcast: return bcast_tree(cfg, v);
+        case Collective::reduce: return reduce_tree(cfg, v);
+        case Collective::gather: return gather_tree(cfg, v);
+        default: return scatter_tree(cfg, v);
+      }
+    };
+  };
+
+  reg[Collective::bcast] = {
+      {Collective::bcast, "binomial", tree(Collective::bcast, TreeVariant::binomial_dd)},
+      {Collective::bcast, "binomial_dh", tree(Collective::bcast, TreeVariant::binomial_dh)},
+      {Collective::bcast, "bine", tree(Collective::bcast, TreeVariant::bine_dh), false, true},
+      {Collective::bcast, "scatter_allgather", bcast_scatter_allgather_std},
+      {Collective::bcast, "bine_scatter_allgather", bcast_scatter_allgather_bine, false,
+       true},
+      {Collective::bcast, "linear", bcast_linear},
+  };
+  reg[Collective::reduce] = {
+      {Collective::reduce, "binomial", tree(Collective::reduce, TreeVariant::binomial_dd)},
+      {Collective::reduce, "binomial_dh", tree(Collective::reduce, TreeVariant::binomial_dh)},
+      {Collective::reduce, "bine", tree(Collective::reduce, TreeVariant::bine_dh), false,
+       true},
+      {Collective::reduce, "rs_gather", reduce_rs_gather_std},
+      {Collective::reduce, "bine_rs_gather", reduce_rs_gather_bine, false, true},
+      {Collective::reduce, "linear", reduce_linear},
+  };
+  reg[Collective::gather] = {
+      {Collective::gather, "binomial", tree(Collective::gather, TreeVariant::binomial_dh)},
+      {Collective::gather, "bine", tree(Collective::gather, TreeVariant::bine_dh), false,
+       true},
+      {Collective::gather, "linear", gather_linear},
+  };
+  reg[Collective::scatter] = {
+      {Collective::scatter, "binomial", tree(Collective::scatter, TreeVariant::binomial_dh)},
+      {Collective::scatter, "bine", tree(Collective::scatter, TreeVariant::bine_dh), false,
+       true},
+      {Collective::scatter, "linear", scatter_linear},
+  };
+
+  auto ag_bine = [](NoncontigStrategy st) {
+    return [st](const Config& cfg) { return allgather_bine(cfg, st); };
+  };
+  reg[Collective::allgather] = {
+      {Collective::allgather, "recursive_doubling", allgather_recursive_doubling},
+      {Collective::allgather, "ring", allgather_ring},
+      {Collective::allgather, "bruck", allgather_bruck},
+      {Collective::allgather, "swing", allgather_swing},
+      {Collective::allgather, "bine_block", ag_bine(NoncontigStrategy::block_by_block),
+       false, true},
+      {Collective::allgather, "bine_permute", ag_bine(NoncontigStrategy::permute), true,
+       true},
+      {Collective::allgather, "bine_send", ag_bine(NoncontigStrategy::send), true, true},
+      {Collective::allgather, "bine_two_trans",
+       ag_bine(NoncontigStrategy::two_transmission), false, true},
+      {Collective::allgather, "bucket", allgather_bucket, false, false, true},
+      {Collective::allgather, "bine_torus", allgather_torus_bine, true, true, true},
+  };
+
+  auto rs_bine = [](NoncontigStrategy st) {
+    return [st](const Config& cfg) { return reduce_scatter_bine(cfg, st); };
+  };
+  reg[Collective::reduce_scatter] = {
+      {Collective::reduce_scatter, "recursive_halving", reduce_scatter_recursive_halving},
+      {Collective::reduce_scatter, "ring", reduce_scatter_ring},
+      {Collective::reduce_scatter, "swing", reduce_scatter_swing},
+      {Collective::reduce_scatter, "bine_block", rs_bine(NoncontigStrategy::block_by_block),
+       false, true},
+      {Collective::reduce_scatter, "bine_permute", rs_bine(NoncontigStrategy::permute),
+       true, true},
+      {Collective::reduce_scatter, "bine_send", rs_bine(NoncontigStrategy::send), true,
+       true},
+      {Collective::reduce_scatter, "bine_two_trans",
+       rs_bine(NoncontigStrategy::two_transmission), false, true},
+      {Collective::reduce_scatter, "bucket", reduce_scatter_bucket, false, false, true},
+      {Collective::reduce_scatter, "bine_torus", reduce_scatter_torus_bine, true, true,
+       true},
+  };
+
+  auto ar_bine = [](NoncontigStrategy st) {
+    return [st](const Config& cfg) { return allreduce_bine_large(cfg, st); };
+  };
+  reg[Collective::allreduce] = {
+      {Collective::allreduce, "recursive_doubling", allreduce_recursive_doubling},
+      {Collective::allreduce, "rabenseifner", allreduce_rabenseifner},
+      {Collective::allreduce, "ring", allreduce_ring},
+      {Collective::allreduce, "swing", allreduce_swing},
+      {Collective::allreduce, "bine_small", allreduce_bine_small, false, true},
+      {Collective::allreduce, "bine_block", ar_bine(NoncontigStrategy::block_by_block),
+       false, true},
+      {Collective::allreduce, "bine_permute", ar_bine(NoncontigStrategy::permute), true,
+       true},
+      {Collective::allreduce, "bine_send", ar_bine(NoncontigStrategy::send), true, true},
+      {Collective::allreduce, "bine_two_trans",
+       ar_bine(NoncontigStrategy::two_transmission), false, true},
+      {Collective::allreduce, "bucket", allreduce_bucket, false, false, true},
+      {Collective::allreduce, "bine_torus", allreduce_torus_bine, true, true, true},
+      {Collective::allreduce, "bine_torus_multiport", allreduce_torus_bine_multiport,
+       true, true, true},
+      {Collective::allreduce, "bine_hierarchical",
+       [](const Config& cfg) { return allreduce_hierarchical_bine(cfg); }, true, true,
+       true},
+  };
+
+  reg[Collective::alltoall] = {
+      {Collective::alltoall, "bruck", alltoall_bruck},
+      {Collective::alltoall, "pairwise", alltoall_pairwise},
+      {Collective::alltoall, "bine", alltoall_bine, true, true},
+  };
+  return reg;
+}
+
+const std::map<Collective, std::vector<AlgorithmEntry>>& registry() {
+  static const auto reg = build_registry();
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<AlgorithmEntry>& algorithms_for(Collective coll) {
+  return registry().at(coll);
+}
+
+const AlgorithmEntry& find_algorithm(Collective coll, const std::string& name) {
+  for (const AlgorithmEntry& e : algorithms_for(coll))
+    if (e.name == name) return e;
+  throw std::out_of_range(std::string("no algorithm '") + name + "' for " +
+                          to_string(coll));
+}
+
+const AlgorithmEntry& recommended_algorithm(Collective coll, i64 p, i64 vector_bytes) {
+  // The paper's small/large switch point sits in the tens of KiB on the
+  // evaluated systems; the exact threshold is a tuning knob.
+  const bool small = vector_bytes <= (i64{64} << 10);
+  const bool pow2 = is_pow2(p);
+  switch (coll) {
+    case Collective::bcast:
+      return find_algorithm(coll, small ? "bine" : "bine_scatter_allgather");
+    case Collective::reduce:
+      return find_algorithm(coll, small || !pow2 ? "bine" : "bine_rs_gather");
+    case Collective::gather:
+    case Collective::scatter:
+      return find_algorithm(coll, "bine");
+    case Collective::allgather:
+      return find_algorithm(coll, pow2 ? (small ? "bine_permute" : "bine_send")
+                                       : "bine_two_trans");
+    case Collective::reduce_scatter:
+      return find_algorithm(coll, pow2 ? (small ? "bine_permute" : "bine_send")
+                                       : "bine_two_trans");
+    case Collective::allreduce:
+      if (small) return find_algorithm(coll, "bine_small");
+      return find_algorithm(coll, pow2 ? "bine_send" : "bine_two_trans");
+    case Collective::alltoall:
+      return find_algorithm(coll, pow2 ? "bine" : "bruck");
+  }
+  throw std::out_of_range("unknown collective");
+}
+
+const std::vector<Collective>& all_collectives() {
+  static const std::vector<Collective> all = {
+      Collective::bcast,         Collective::reduce,    Collective::gather,
+      Collective::scatter,       Collective::allgather, Collective::reduce_scatter,
+      Collective::allreduce,     Collective::alltoall,
+  };
+  return all;
+}
+
+}  // namespace bine::coll

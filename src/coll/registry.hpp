@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "coll/config.hpp"
+#include "sched/schedule.hpp"
+
+/// Name-indexed access to every schedule generator in the library, used by
+/// the evaluation harness, the benchmarks and the sweep tests.
+namespace bine::coll {
+
+using Generator = std::function<sched::Schedule(const Config&)>;
+
+struct AlgorithmEntry {
+  sched::Collective coll;
+  std::string name;        ///< e.g. "bine", "binomial", "ring", "bruck"
+  Generator make;
+  bool pow2_only = false;  ///< generator throws for non-power-of-two p
+  bool is_bine = false;    ///< one of the paper's contributions
+  /// Topology-specialized algorithms (torus, hierarchical multi-GPU) are
+  /// only meaningful on their topology; generic sweeps skip them.
+  bool specialized = false;
+};
+
+/// All registered algorithms for one collective.
+[[nodiscard]] const std::vector<AlgorithmEntry>& algorithms_for(sched::Collective coll);
+
+/// Lookup by (collective, name); throws std::out_of_range if absent.
+[[nodiscard]] const AlgorithmEntry& find_algorithm(sched::Collective coll,
+                                                   const std::string& name);
+
+/// All eight collectives.
+[[nodiscard]] const std::vector<sched::Collective>& all_collectives();
+
+/// The Bine algorithm the paper's implementation would pick for a given
+/// vector size (Sec. 4.4/4.5): tree / recursive-doubling variants for small
+/// vectors, composed reduce-scatter + allgather/gather variants for large
+/// ones, honouring the power-of-two restrictions of the permute/send
+/// strategies. Returns the registry entry to call.
+[[nodiscard]] const AlgorithmEntry& recommended_algorithm(sched::Collective coll, i64 p,
+                                                          i64 vector_bytes);
+
+}  // namespace bine::coll

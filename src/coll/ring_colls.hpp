@@ -1,0 +1,17 @@
+#pragma once
+
+#include "coll/config.hpp"
+#include "sched/schedule.hpp"
+
+/// Ring (linear-pipeline) collectives: the classic bandwidth-optimal but
+/// latency-heavy baselines the paper compares against for large vectors
+/// (Sec. 5.1.2 / 5.2.2), including the NCCL-style ring allreduce used in the
+/// multi-GPU comparison of Sec. 6.2. All work for any p.
+namespace bine::coll {
+
+[[nodiscard]] sched::Schedule allgather_ring(const Config& cfg);
+[[nodiscard]] sched::Schedule reduce_scatter_ring(const Config& cfg);
+/// Ring allreduce = ring reduce-scatter + ring allgather (2(p-1) steps).
+[[nodiscard]] sched::Schedule allreduce_ring(const Config& cfg);
+
+}  // namespace bine::coll

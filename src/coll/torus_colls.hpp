@@ -1,0 +1,32 @@
+#pragma once
+
+#include "coll/config.hpp"
+#include "sched/schedule.hpp"
+
+/// Torus-optimized collectives (Appendix D and Sec. 5.4).
+///
+/// Ranks are treated as coordinates of a multidimensional torus; the
+/// collective is applied dimension by dimension so every transmission crosses
+/// a single torus hop. `bucket` uses per-dimension rings (Jain & Sabharwal
+/// [32], Fugaku's Trinaryx-like linear-step baseline); `torus_bine` uses
+/// per-dimension Bine butterflies (logarithmic steps); the multi-port variant
+/// runs 2D concurrent sub-collectives, one per NIC/direction, each on
+/// 1/(2D) of the vector (Appendix D.4).
+namespace bine::coll {
+
+[[nodiscard]] sched::Schedule reduce_scatter_bucket(const Config& cfg);
+[[nodiscard]] sched::Schedule allgather_bucket(const Config& cfg);
+[[nodiscard]] sched::Schedule allreduce_bucket(const Config& cfg);
+
+/// Per-dimension Bine reduce-scatter / allgather / allreduce. Every torus
+/// dimension must be a power of two (Appendix D.3 discusses the rest).
+[[nodiscard]] sched::Schedule reduce_scatter_torus_bine(const Config& cfg);
+[[nodiscard]] sched::Schedule allgather_torus_bine(const Config& cfg);
+[[nodiscard]] sched::Schedule allreduce_torus_bine(const Config& cfg);
+
+/// Multi-port allreduce: 2D concurrent dimension-rotated Bine allreduces,
+/// each on a 1/(2D) slice (Appendix D.4, the uTofu implementation of
+/// Sec. 5.4.1).
+[[nodiscard]] sched::Schedule allreduce_torus_bine_multiport(const Config& cfg);
+
+}  // namespace bine::coll

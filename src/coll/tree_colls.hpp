@@ -1,0 +1,37 @@
+#pragma once
+
+#include "coll/config.hpp"
+#include "core/tree.hpp"
+#include "sched/schedule.hpp"
+
+/// Tree-based rooted collectives: broadcast, reduce, gather, scatter
+/// (paper Sec. 4.1, 4.2, 4.5) over any TreeVariant, plus flat linear
+/// baselines.
+///
+/// Non-power-of-two communicators follow Appendix C's base technique: the
+/// collective runs among the first p' = 2^floor(log2 p) logical ranks, and the
+/// remaining p - p' ranks are served by one extra pre-step (reduce/gather) or
+/// post-step (bcast/scatter) paired with logical ranks 0 .. p-p'-1.
+namespace bine::coll {
+
+/// Broadcast of the whole vector down a tree (small-vector algorithm of
+/// Sec. 4.5 when variant == bine_dh; Fig. 1 baselines otherwise).
+[[nodiscard]] sched::Schedule bcast_tree(const Config& cfg, core::TreeVariant v);
+
+/// Reduction of the whole vector up the mirrored tree.
+[[nodiscard]] sched::Schedule reduce_tree(const Config& cfg, core::TreeVariant v);
+
+/// Gather: leaves push their blocks up the tree; each rank forwards the
+/// blocks of its whole subtree (Sec. 4.1). Distance-halving variants only.
+[[nodiscard]] sched::Schedule gather_tree(const Config& cfg, core::TreeVariant v);
+
+/// Scatter: the reverse process of the gather (Sec. 4.2).
+[[nodiscard]] sched::Schedule scatter_tree(const Config& cfg, core::TreeVariant v);
+
+/// Flat baselines: the root exchanges with every rank, one per step.
+[[nodiscard]] sched::Schedule bcast_linear(const Config& cfg);
+[[nodiscard]] sched::Schedule reduce_linear(const Config& cfg);
+[[nodiscard]] sched::Schedule gather_linear(const Config& cfg);
+[[nodiscard]] sched::Schedule scatter_linear(const Config& cfg);
+
+}  // namespace bine::coll

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "core/nu.hpp"
+#include "core/types.hpp"
+
+/// Block permutations that turn the non-contiguous transmissions of
+/// distance-doubling Bine butterflies into contiguous ones
+/// (paper Sec. 4.3.1 "Permute"/"Send" strategies, Fig. 8).
+namespace bine::core {
+
+/// Destination position of block `i` under the contiguity permutation:
+/// reverse(nu(i)). All blocks belonging to a bine_dd subtree share their
+/// least-significant nu bits (Sec. 3.2.3); after bit reversal they share
+/// *most*-significant bits instead, i.e. they are contiguous in memory.
+[[nodiscard]] constexpr i64 permuted_position(i64 block, i64 p) noexcept {
+  const int s = log2_exact(p);
+  return static_cast<i64>(reverse_bits(nu(block, p), s));
+}
+
+/// Full permutation vector: result[i] = destination position of block i.
+/// A bijection on [0, p) (verified by tests).
+[[nodiscard]] inline std::vector<i64> contiguity_permutation(i64 p) {
+  std::vector<i64> perm(static_cast<size_t>(p));
+  for (i64 i = 0; i < p; ++i) perm[static_cast<size_t>(i)] = permuted_position(i, p);
+  return perm;
+}
+
+/// Inverse permutation: result[permuted_position(i)] = i.
+[[nodiscard]] inline std::vector<i64> inverse_contiguity_permutation(i64 p) {
+  std::vector<i64> inv(static_cast<size_t>(p));
+  for (i64 i = 0; i < p; ++i) inv[static_cast<size_t>(permuted_position(i, p))] = i;
+  return inv;
+}
+
+/// Final exchange peer for the "Send" strategy (Sec. 4.3.1): after skipping
+/// the permutation, rank r holds the block that belongs to
+/// reverse(nu(r)) and ships it there in one extra step.
+[[nodiscard]] constexpr Rank send_strategy_peer(Rank r, i64 p) noexcept {
+  return permuted_position(r, p);
+}
+
+}  // namespace bine::core

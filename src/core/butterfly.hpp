@@ -1,0 +1,62 @@
+#pragma once
+
+#include "core/negabinary.hpp"
+#include "core/types.hpp"
+
+/// Butterfly (all-ranks-exchange-every-step) communication patterns: the
+/// standard recursive-doubling / recursive-halving baselines and the Bine
+/// butterflies of paper Sec. 3.
+///
+/// A butterfly on p = 2^s ranks runs s steps; at every step each rank
+/// exchanges data with exactly one partner, and the partner relation is a
+/// perfect matching (partner(partner(r)) == r).
+namespace bine::core {
+
+enum class ButterflyVariant {
+  recursive_doubling,  ///< r ^ 2^step (standard, distance-doubling)
+  recursive_halving,   ///< r ^ 2^{s-1-step} (standard, distance-halving)
+  bine_dh,             ///< Eq. 4: distance-halving Bine butterfly
+  bine_dd,             ///< Eq. 5: distance-doubling Bine butterfly
+  swing,               ///< Swing [17]: same peer sequence as bine_dd
+};
+
+[[nodiscard]] constexpr const char* to_string(ButterflyVariant v) noexcept {
+  switch (v) {
+    case ButterflyVariant::recursive_doubling: return "recursive_doubling";
+    case ButterflyVariant::recursive_halving: return "recursive_halving";
+    case ButterflyVariant::bine_dh: return "bine_dh";
+    case ButterflyVariant::bine_dd: return "bine_dd";
+    case ButterflyVariant::swing: return "swing";
+  }
+  return "?";
+}
+
+/// Partner of rank `r` at `step` (0-based, step < log2(p)).
+[[nodiscard]] constexpr Rank butterfly_partner(ButterflyVariant v, Rank r, int step,
+                                               i64 p) noexcept {
+  assert(is_pow2(p) && r >= 0 && r < p);
+  const int s = log2_exact(p);
+  assert(step >= 0 && step < s);
+  switch (v) {
+    case ButterflyVariant::recursive_doubling:
+      return r ^ (i64{1} << step);
+    case ButterflyVariant::recursive_halving:
+      return r ^ (i64{1} << (s - 1 - step));
+    case ButterflyVariant::bine_dh: {
+      // Eq. 4: distance (1 - (-2)^{s-step}) / 3 == sum_{k<s-step} (-2)^k,
+      // added for even ranks and subtracted for odd ranks. The signed value
+      // may be negative; the modulo wraps it back onto the circle.
+      const i64 d = negabinary_ones_value(s - step);
+      return pmod(r % 2 == 0 ? r + d : r - d, p);
+    }
+    case ButterflyVariant::bine_dd:
+    case ButterflyVariant::swing: {
+      // Eq. 5 / Swing's rho(step): sum_{k<=step} (-2)^k.
+      const i64 d = negabinary_ones_value(step + 1);
+      return pmod(r % 2 == 0 ? r + d : r - d, p);
+    }
+  }
+  return -1;
+}
+
+}  // namespace bine::core

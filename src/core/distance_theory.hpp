@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/negabinary.hpp"
+#include "core/types.hpp"
+
+/// Closed-form step distances and the 2/3 locality bound of paper Sec. 2.4.1.
+namespace bine::core {
+
+/// delta_binomial(i) = 2^{s-i-1}: modular distance between communicating
+/// ranks at step i of a distance-halving binomial tree.
+[[nodiscard]] constexpr i64 delta_binomial(int step, int s) noexcept {
+  assert(step >= 0 && step < s);
+  return i64{1} << (s - step - 1);
+}
+
+/// delta_bine(i) = |sum_{j=0}^{s-i-1} (-2)^j| = |1/3 - (-2)^{s-i}/3|:
+/// modular distance between communicating ranks at step i of a
+/// distance-halving Bine tree.
+[[nodiscard]] constexpr i64 delta_bine(int step, int s) noexcept {
+  assert(step >= 0 && step < s);
+  const i64 v = negabinary_ones_value(s - step);
+  return v < 0 ? -v : v;
+}
+
+/// Eq. 2: delta_bine / delta_binomial -> 2/3, i.e. communicating ranks sit at
+/// a ~33% shorter modular distance, which bounds the global-traffic reduction.
+[[nodiscard]] constexpr double distance_ratio(int step, int s) noexcept {
+  return static_cast<double>(delta_bine(step, s)) /
+         static_cast<double>(delta_binomial(step, s));
+}
+
+/// The asymptotic bound from Sec. 2.4.1: Bine reduces global-link traffic by
+/// at most 33% (ratio 2/3).
+inline constexpr double kMaxTrafficReduction = 1.0 / 3.0;
+
+}  // namespace bine::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "core/types.hpp"
+
+/// Modular (circular) distance between rank identifiers (paper Sec. 2.2).
+namespace bine::core {
+
+/// d(r, q) = min((r - q) mod p, (q - r) mod p): the minimum distance along
+/// the circle 0, 1, ..., p-1. Bine trees minimize this quantity instead of
+/// the plain |r - q| used by standard binomial trees.
+[[nodiscard]] constexpr i64 modular_distance(Rank r, Rank q, i64 p) noexcept {
+  const i64 a = pmod(r - q, p);
+  const i64 b = pmod(q - r, p);
+  return a < b ? a : b;
+}
+
+/// Signed modular displacement from r to q, normalized into (-p/2, p/2].
+/// Positive means q lies "to the right" of r on the circle.
+[[nodiscard]] constexpr i64 modular_displacement(Rank r, Rank q, i64 p) noexcept {
+  i64 d = pmod(q - r, p);
+  if (d > p / 2) d -= p;
+  return d;
+}
+
+/// Logical rotation used to re-root trees: rank `r` in the tree rooted at
+/// `root` plays the role of rank (r - root) mod p in the tree rooted at 0
+/// (paper Sec. 2.2: "we apply a logical rotation by subtracting t").
+[[nodiscard]] constexpr Rank to_logical(Rank r, Rank root, i64 p) noexcept {
+  return pmod(r - root, p);
+}
+
+/// Inverse of `to_logical`.
+[[nodiscard]] constexpr Rank to_physical(Rank logical, Rank root, i64 p) noexcept {
+  return pmod(logical + root, p);
+}
+
+}  // namespace bine::core

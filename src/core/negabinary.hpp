@@ -1,0 +1,86 @@
+#pragma once
+
+#include "core/types.hpp"
+
+/// Negabinary (base -2) encoding of rank identifiers -- the arithmetic core of
+/// Bine trees (paper Sec. 2.3.1, Table 1).
+///
+/// A negabinary string b_{s-1} ... b_1 b_0 denotes sum_j b_j * (-2)^j. Unlike
+/// binary, s bits cover a *signed* contiguous range: exactly the 2^s integers
+/// in [lo(s), m(s)], where m(s) sets all even positions (positive powers) and
+/// lo(s) sets all odd positions (negative powers). This range is a complete
+/// residue system mod 2^s, which is what makes `rank2nb`/`nb2rank` bijective
+/// on a communicator of p = 2^s ranks.
+namespace bine::core {
+
+/// Mask with ones in all odd bit positions (0b...10101010). The classic O(1)
+/// binary <-> negabinary conversion is a masked add/subtract with this value,
+/// matching the paper's claim that both conversions need only "bit masking and
+/// an addition or subtraction".
+inline constexpr u64 kOddPositions = 0xAAAA'AAAA'AAAA'AAAAull;
+
+/// Encode a (possibly negative) integer into its negabinary bit pattern.
+[[nodiscard]] constexpr u64 to_negabinary(i64 value) noexcept {
+  return (static_cast<u64>(value) + kOddPositions) ^ kOddPositions;
+}
+
+/// Decode a negabinary bit pattern back to the integer it denotes.
+/// Patterns restricted to the low s bits decode to sum_{j<s} b_j (-2)^j.
+[[nodiscard]] constexpr i64 from_negabinary(u64 bits) noexcept {
+  return static_cast<i64>((bits ^ kOddPositions) - kOddPositions);
+}
+
+/// Largest value representable in `s` negabinary bits: ones at all even
+/// positions below s (e.g. m(6) = 010101_{-2} = 21, paper Sec. 2.3.1).
+[[nodiscard]] constexpr i64 max_on_bits(int s) noexcept {
+  return static_cast<i64>(~kOddPositions & low_bits(s));
+}
+
+/// Smallest (most negative) value representable in `s` negabinary bits:
+/// ones at all odd positions below s (e.g. lo(3) = 010_{-2} = -2).
+[[nodiscard]] constexpr i64 min_on_bits(int s) noexcept {
+  return from_negabinary(kOddPositions & low_bits(s));
+}
+
+/// rank2nb(r, p) -- negabinary representation of rank `r` in a communicator of
+/// `p` ranks (p a power of two). Ranks in [0, m] use their own value; ranks
+/// above m (those "to the left of rank 0" on the circle) use r - p
+/// (paper Sec. 2.3.1: rank2nb(6, 8) = 010_{-2} since 6 - 8 = -2).
+[[nodiscard]] constexpr u64 rank2nb(Rank r, i64 p) noexcept {
+  assert(is_pow2(p) && r >= 0 && r < p);
+  const int s = log2_exact(p);
+  const i64 value = r <= max_on_bits(s) ? r : r - p;
+  const u64 nb = to_negabinary(value);
+  assert((nb & ~low_bits(s)) == 0 && "value must fit in s negabinary bits");
+  return nb;
+}
+
+/// nb2rank(nb, p) -- inverse of rank2nb: decode `nb` (low log2(p) bits) and
+/// reduce modulo p back onto the rank circle.
+[[nodiscard]] constexpr Rank nb2rank(u64 nb, i64 p) noexcept {
+  assert(is_pow2(p));
+  const int s = log2_exact(p);
+  return pmod(from_negabinary(nb & low_bits(s)), p);
+}
+
+/// Number of consecutive least-significant bits of `nb` that are all equal,
+/// counted within an s-bit window (paper Sec. 2.3.2: u = 3 for 1000, u = 2
+/// for 1011). Determines the step at which a rank joins a distance-halving
+/// Bine tree: i = s - u.
+[[nodiscard]] constexpr int equal_lsb_run(u64 nb, int s) noexcept {
+  assert(s >= 1);
+  const u64 first = nb & 1;
+  int run = 1;
+  while (run < s && ((nb >> run) & 1) == first) ++run;
+  return run;
+}
+
+/// Sum_{k=0}^{j} (-2)^k = (1 - (-2)^{j+1}) / 3: the (always odd) modular
+/// distance between partners at step j of a distance-doubling Bine
+/// tree/butterfly (paper Eq. 5 and Appendix A).
+[[nodiscard]] constexpr i64 negabinary_ones_value(int count) noexcept {
+  assert(count >= 0 && count < 62);
+  return from_negabinary(low_bits(count));
+}
+
+}  // namespace bine::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "core/negabinary.hpp"
+#include "core/types.hpp"
+
+/// The nu(r, p) representation that drives distance-doubling Bine trees and
+/// butterflies (paper Sec. 3.2.1 and Appendix A).
+///
+/// Each rank r is first mapped to a negabinary string h(r, p):
+///   h(r, p) = rank2nb(p - r, p)  if r is even (h(0, p) = 0),
+///   h(r, p) = rank2nb(r, p)      if r is odd,
+/// and then nu(r, p) = h ^ (h >> 1). The bits of nu(r, p) encode exactly the
+/// steps through which the data travels from the root to r, which is what
+/// makes the distance-doubling construction "operate as the standard binomial
+/// tree algorithm, but using nu(r) instead of r".
+namespace bine::core {
+
+/// h(r, p) from Sec. 3.2.1.
+[[nodiscard]] constexpr u64 h_repr(Rank r, i64 p) noexcept {
+  assert(is_pow2(p) && r >= 0 && r < p);
+  if (r == 0) return 0;
+  if (r % 2 == 1) return rank2nb(r, p);
+  return rank2nb(p - r, p);
+}
+
+/// nu(r, p) = h(r, p) ^ (h(r, p) >> 1). A bijection from [0, p) onto [0, p).
+[[nodiscard]] constexpr u64 nu(Rank r, i64 p) noexcept {
+  const u64 h = h_repr(r, p);
+  return h ^ (h >> 1);
+}
+
+/// Inverse of the Gray-style transform x -> x ^ (x >> 1).
+[[nodiscard]] constexpr u64 gray_decode(u64 g) noexcept {
+  u64 b = g;
+  for (int shift = 1; shift < 64; shift <<= 1) b ^= b >> shift;
+  return b;
+}
+
+/// Inverse of `nu`: the rank whose nu-representation equals `bits`.
+[[nodiscard]] constexpr Rank nu_inverse(u64 bits, i64 p) noexcept {
+  assert(is_pow2(p));
+  const int s = log2_exact(p);
+  const u64 h = gray_decode(bits) & low_bits(s);
+  if (h == 0) return 0;
+  const Rank candidate = nb2rank(h, p);
+  // h() encodes odd ranks directly and even ranks via p - r; both candidates
+  // share parity (p is even), so exactly one branch applies.
+  if (candidate % 2 == 1) return candidate;
+  return pmod(p - candidate, p);
+}
+
+/// Bit-reversal of the low `s` bits of `v` (used by the reverse(nu(i)) block
+/// permutation of Fig. 8 and by the "send" strategy of Sec. 4.3.1).
+[[nodiscard]] constexpr u64 reverse_bits(u64 v, int s) noexcept {
+  u64 out = 0;
+  for (int j = 0; j < s; ++j)
+    if ((v >> j) & 1) out |= u64{1} << (s - 1 - j);
+  return out;
+}
+
+}  // namespace bine::core

@@ -1,0 +1,94 @@
+#include "core/tree.hpp"
+
+#include <stdexcept>
+
+namespace bine::core {
+
+Tree build_tree(TreeVariant v, i64 p, Rank root) {
+  assert(is_pow2(p) && root >= 0 && root < p);
+  Tree t;
+  t.variant = v;
+  t.p = p;
+  t.s = log2_exact(p);
+  t.root = root;
+  t.parent.assign(static_cast<size_t>(p), -1);
+  t.joined_at.assign(static_cast<size_t>(p), -1);
+  t.children.assign(static_cast<size_t>(p), {});
+
+  for (Rank logical = 0; logical < p; ++logical) {
+    const Rank physical = to_physical(logical, root, p);
+    const int joined = join_step(v, logical, p);
+    t.joined_at[static_cast<size_t>(physical)] = joined;
+    // A rank forwards the data at every step after it joined (the root from
+    // step 0), reaching its child for that step.
+    for (int step = joined + 1; step < t.s; ++step) {
+      const Rank child_logical = tree_partner(v, logical, step, p);
+      assert(join_step(v, child_logical, p) == step &&
+             "a tree child must join exactly at the step its parent reaches it");
+      const Rank child_physical = to_physical(child_logical, root, p);
+      t.children[static_cast<size_t>(physical)].emplace_back(step, child_physical);
+      t.parent[static_cast<size_t>(child_physical)] = physical;
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Merge `parts` into a single circular interval. Any merge order may leave
+/// temporary gaps (the root accumulates child subtrees out of positional
+/// order), so scan repeatedly, gluing adjacent pairs, until one remains.
+CircularInterval glue_intervals(std::vector<CircularInterval> parts, i64 p) {
+  while (parts.size() > 1) {
+    bool merged = false;
+    for (size_t a = 0; a < parts.size() && !merged; ++a) {
+      for (size_t b = 0; b < parts.size() && !merged; ++b) {
+        if (a == b) continue;
+        if (pmod(parts[b].start - (parts[a].start + parts[a].length), p) == 0) {
+          parts[a].length += parts[b].length;
+          parts.erase(parts.begin() + static_cast<std::ptrdiff_t>(b));
+          merged = true;
+        }
+      }
+    }
+    if (!merged) throw std::logic_error("subtree_interval: non-contiguous subtree");
+  }
+  assert(parts.size() == 1 && parts.front().length <= p);
+  return parts.front();
+}
+
+/// Recursive helper: circular interval spanned by the subtree of `r`, whose
+/// children sit at steps (joined, s). Bine DH / binomial DH subtrees stay
+/// contiguous (paper Sec. 2.3.3 and App. D.2).
+CircularInterval subtree_interval_rec(TreeVariant v, Rank r, int joined, i64 p) {
+  const int s = log2_exact(p);
+  std::vector<CircularInterval> parts{{r, 1}};
+  for (int step = joined + 1; step < s; ++step) {
+    const Rank child = tree_partner(v, r, step, p);
+    parts.push_back(subtree_interval_rec(v, child, step, p));
+  }
+  return glue_intervals(std::move(parts), p);
+}
+
+void dd_collect(Rank r, int joined, i64 p, std::vector<Rank>& out) {
+  out.push_back(r);
+  const int s = log2_exact(p);
+  for (int step = joined + 1; step < s; ++step)
+    dd_collect(tree_partner(TreeVariant::bine_dd, r, step, p), step, p, out);
+}
+
+}  // namespace
+
+CircularInterval subtree_interval(TreeVariant v, Rank r, i64 p) {
+  assert((v == TreeVariant::binomial_dh || v == TreeVariant::bine_dh) &&
+         "only distance-halving subtrees are circular intervals");
+  return subtree_interval_rec(v, r, join_step(v, r, p), p);
+}
+
+std::vector<Rank> dd_subtree_members(Rank r, i64 p) {
+  std::vector<Rank> out;
+  dd_collect(r, join_step(TreeVariant::bine_dd, r, p), p, out);
+  return out;
+}
+
+}  // namespace bine::core

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/modular.hpp"
+#include "core/negabinary.hpp"
+#include "core/nu.hpp"
+#include "core/types.hpp"
+
+/// Uniform interface over the four tree constructions compared in the paper:
+/// distance-doubling / distance-halving binomial trees (the Open MPI / MPICH
+/// baselines of Fig. 1) and distance-halving / distance-doubling Bine trees
+/// (Sec. 2 and Sec. 3.2).
+///
+/// All primitives work in *logical* rank space (tree rooted at 0); re-rooting
+/// at t is the rotation r -> (r - t) mod p (Sec. 2.2). `p` must be a power of
+/// two here; non-power-of-two communicators are handled one level up
+/// (coll/nonpow2, Appendix C).
+namespace bine::core {
+
+enum class TreeVariant {
+  binomial_dd,  ///< distance-doubling binomial (Open MPI style)
+  binomial_dh,  ///< distance-halving binomial (MPICH style)
+  bine_dh,      ///< distance-halving Bine tree (paper Sec. 2)
+  bine_dd,      ///< distance-doubling Bine tree (paper Sec. 3.2)
+};
+
+[[nodiscard]] constexpr const char* to_string(TreeVariant v) noexcept {
+  switch (v) {
+    case TreeVariant::binomial_dd: return "binomial_dd";
+    case TreeVariant::binomial_dh: return "binomial_dh";
+    case TreeVariant::bine_dh: return "bine_dh";
+    case TreeVariant::bine_dd: return "bine_dd";
+  }
+  return "?";
+}
+
+/// Step at which logical rank `r` receives the data from its parent in a
+/// broadcast (-1 for the root, which holds the data from the start).
+/// Steps are numbered 0 .. s-1 with s = log2(p).
+[[nodiscard]] constexpr int join_step(TreeVariant v, Rank r, i64 p) noexcept {
+  assert(is_pow2(p) && r >= 0 && r < p);
+  if (r == 0) return -1;
+  const int s = log2_exact(p);
+  switch (v) {
+    case TreeVariant::binomial_dd:
+      // Rank r first appears when the doubling front passes it: 2^i <= r.
+      return floor_log2(r);
+    case TreeVariant::binomial_dh: {
+      // Rank r = odd * 2^k receives at step s-1-k (first split reaches p/2).
+      int k = 0;
+      while (((r >> k) & 1) == 0) ++k;
+      return s - 1 - k;
+    }
+    case TreeVariant::bine_dh:
+      // Paper Sec. 2.3.2: i = s - u, u = length of the identical-LSB run.
+      return s - equal_lsb_run(rank2nb(r, p), s);
+    case TreeVariant::bine_dd:
+      // Paper Sec. 3.2.2: position of the highest set bit of nu(r).
+      return floor_log2(static_cast<i64>(nu(r, p)));
+  }
+  return -1;
+}
+
+/// Child of logical rank `r` at step `step` in a broadcast tree, i.e. the rank
+/// `r` forwards the data to at that step. Only meaningful when
+/// join_step(r) < step (the rank already holds the data). The relation is an
+/// involution on the pair: child's partner at the same step is `r`.
+[[nodiscard]] constexpr Rank tree_partner(TreeVariant v, Rank r, int step, i64 p) noexcept {
+  assert(is_pow2(p) && r >= 0 && r < p);
+  const int s = log2_exact(p);
+  assert(step >= 0 && step < s);
+  switch (v) {
+    case TreeVariant::binomial_dd:
+      return r ^ (i64{1} << step);
+    case TreeVariant::binomial_dh:
+      return r ^ (i64{1} << (s - 1 - step));
+    case TreeVariant::bine_dh:
+      // Eq. 1: flip the least significant s-step negabinary bits.
+      return nb2rank(rank2nb(r, p) ^ low_bits(s - step), p);
+    case TreeVariant::bine_dd: {
+      // Eq. 5 (Appendix A): distance sum_{k<=step} (-2)^k, sign by parity.
+      const i64 d = negabinary_ones_value(step + 1);
+      return pmod(r % 2 == 0 ? r + d : r - d, p);
+    }
+  }
+  return -1;
+}
+
+/// Modular distance between partners at `step`; delta_bine(i) vs
+/// delta_binomial(i) from Sec. 2.4.1.
+[[nodiscard]] constexpr i64 step_distance(TreeVariant v, Rank r, int step, i64 p) noexcept {
+  return modular_distance(r, tree_partner(v, r, step, p), p);
+}
+
+/// A fully materialized broadcast tree over physical ranks (root may be any
+/// rank; construction rotates logical rank 0 onto it). O(p log p).
+struct Tree {
+  TreeVariant variant{};
+  i64 p = 0;
+  int s = 0;
+  Rank root = 0;
+  std::vector<Rank> parent;    ///< parent[r] over physical ranks; -1 for root
+  std::vector<int> joined_at;  ///< join_step over physical ranks; -1 for root
+  /// children[r] = (step, child) pairs ordered by step.
+  std::vector<std::vector<std::pair<int, Rank>>> children;
+};
+
+[[nodiscard]] Tree build_tree(TreeVariant v, i64 p, Rank root);
+
+/// Contiguous circular interval of ranks [start, start + length) mod p.
+struct CircularInterval {
+  Rank start = 0;
+  i64 length = 0;
+  [[nodiscard]] bool contains(Rank r, i64 p) const noexcept {
+    return pmod(r - start, p) < length;
+  }
+};
+
+/// The set of logical ranks in the broadcast subtree rooted at `r`
+/// (everything that receives the data through `r`). For binomial_dh and
+/// bine_dh subtrees this is a contiguous circular interval (paper Sec. 2.3.3
+/// / Appendix D.2); throws if contiguity is violated. Not applicable to
+/// bine_dd (non-contiguous, Sec. 3.2.3 -- use `dd_subtree_members`) nor to
+/// binomial_dd (strided subtrees).
+[[nodiscard]] CircularInterval subtree_interval(TreeVariant v, Rank r, i64 p);
+
+/// Membership test for distance-doubling Bine subtrees (Sec. 3.2.3): q is in
+/// the subtree rooted at r iff nu(q) and nu(r) share the join_step(r)+1 least
+/// significant bits. The root's subtree is the whole communicator.
+[[nodiscard]] constexpr bool dd_subtree_contains(Rank r, Rank q, i64 p) noexcept {
+  if (r == 0) return true;
+  const int keep = join_step(TreeVariant::bine_dd, r, p) + 1;
+  return (nu(q, p) & low_bits(keep)) == (nu(r, p) & low_bits(keep));
+}
+
+/// Materialized list of the logical ranks in the bine_dd subtree rooted at r.
+[[nodiscard]] std::vector<Rank> dd_subtree_members(Rank r, i64 p);
+
+}  // namespace bine::core

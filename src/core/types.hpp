@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+/// Common integral aliases and small bit utilities shared across the library.
+namespace bine {
+
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/// Rank identifier inside a communicator of `p` ranks. Signed so that
+/// intermediate arithmetic (r - p, rotations) stays natural.
+using Rank = i64;
+
+/// True iff `x` is a positive power of two.
+[[nodiscard]] constexpr bool is_pow2(i64 x) noexcept {
+  return x > 0 && (static_cast<u64>(x) & (static_cast<u64>(x) - 1)) == 0;
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int floor_log2(i64 x) noexcept {
+  assert(x >= 1);
+  int k = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++k;
+  }
+  return k;
+}
+
+/// log2(x) for x an exact power of two.
+[[nodiscard]] constexpr int log2_exact(i64 x) noexcept {
+  assert(is_pow2(x));
+  return floor_log2(x);
+}
+
+/// Mathematical (always non-negative) modulo: pmod(-2, 8) == 6.
+[[nodiscard]] constexpr i64 pmod(i64 a, i64 m) noexcept {
+  assert(m > 0);
+  const i64 r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+/// Bit mask with the `n` least significant bits set (n in [0, 63]).
+[[nodiscard]] constexpr u64 low_bits(int n) noexcept {
+  assert(n >= 0 && n < 64);
+  return (u64{1} << n) - 1;
+}
+
+/// ceil(a / b) for non-negative a, positive b.
+[[nodiscard]] constexpr i64 ceil_div(i64 a, i64 b) noexcept {
+  assert(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace bine

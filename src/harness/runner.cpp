@@ -1,0 +1,128 @@
+#include "harness/runner.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace bine::harness {
+
+using sched::Collective;
+
+std::vector<i64> paper_vector_sizes(bool full) {
+  // 32 B, 256 B, 2 KiB, 16 KiB, 128 KiB, 1 MiB, 8 MiB, 64 MiB, 512 MiB.
+  std::vector<i64> sizes = {32, 256, 2048, 16384, 131072, 1048576, 8388608};
+  if (full) {
+    sizes.push_back(67108864);
+    sizes.push_back(536870912);
+  }
+  return sizes;
+}
+
+std::string size_label(i64 bytes) {
+  if (bytes >= (i64{1} << 30)) return std::to_string(bytes >> 30) + " GiB";
+  if (bytes >= (i64{1} << 20)) return std::to_string(bytes >> 20) + " MiB";
+  if (bytes >= (i64{1} << 10)) return std::to_string(bytes >> 10) + " KiB";
+  return std::to_string(bytes) + " B";
+}
+
+Runner::Runner(net::SystemProfile profile, bool spread_placement, u64 seed)
+    : profile_(std::move(profile)), spread_placement_(spread_placement), seed_(seed) {}
+
+Runner::Sized& Runner::sized_for(i64 nodes) {
+  auto it = cache_.find(nodes);
+  if (it != cache_.end()) return it->second;
+
+  Sized sized;
+  sized.topo = profile_.build(nodes);
+  if (spread_placement_ && sized.topo->num_nodes() > nodes) {
+    // Fragmented machine: the job lands on whichever nodes are free, spanning
+    // several groups, with ranks sorted by hostname (paper Sec. 2.2/5).
+    const i64 total = sized.topo->num_nodes();
+    const i64 per_group = total / std::max<i64>(1, sized.topo->group_of(total - 1) + 1);
+    // Production machines run highly utilized, which is what fragments jobs
+    // across groups (paper: 4-64 node MN5 jobs spanned up to 8 subtrees).
+    alloc::Machine machine{sized.topo->group_of(total - 1) + 1, per_group};
+    alloc::SyntheticScheduler sched_gen(machine, /*busy_fraction=*/0.85,
+                                        seed_ + static_cast<u64>(nodes));
+    sized.placement.node_of_rank = sched_gen.sample_job(nodes).node_of_rank;
+  } else {
+    sized.placement = net::Placement::identity(nodes);
+  }
+  return cache_.emplace(nodes, std::move(sized)).first->second;
+}
+
+RunResult Runner::run([[maybe_unused]] Collective coll, const coll::AlgorithmEntry& algo,
+                      i64 nodes, i64 size_bytes) {
+  coll::Config cfg;
+  cfg.p = nodes;
+  cfg.elem_size = 4;  // 32-bit integers, as in the paper's methodology
+  cfg.elem_count = std::max<i64>(nodes, size_bytes / cfg.elem_size);
+  cfg.torus_dims = torus_dims;
+  const sched::Schedule sch = algo.make(cfg);
+  Sized& sized = sized_for(nodes);
+  const net::SimResult sim =
+      net::simulate(sch, *sized.topo, sized.placement, profile_.cost);
+  RunResult out;
+  out.seconds = sim.seconds;
+  out.global_bytes = sim.traffic.global_bytes;
+  out.total_bytes = sim.traffic.total();
+  out.steps = sim.steps;
+  return out;
+}
+
+std::pair<std::string, RunResult> Runner::best_of(Collective coll,
+                                                  const std::vector<std::string>& names,
+                                                  i64 nodes, i64 size_bytes) {
+  std::pair<std::string, RunResult> best{"", {}};
+  best.second.seconds = std::numeric_limits<double>::infinity();
+  for (const std::string& name : names) {
+    const auto& entry = coll::find_algorithm(coll, name);
+    if (entry.pow2_only && !is_pow2(nodes)) continue;
+    const RunResult r = run(coll, entry, nodes, size_bytes);
+    if (r.seconds < best.second.seconds) best = {name, r};
+  }
+  if (best.first.empty()) throw std::runtime_error("no applicable algorithm");
+  return best;
+}
+
+std::pair<std::string, RunResult> Runner::best_bine(Collective coll, i64 nodes,
+                                                    i64 size_bytes, bool contiguous_only) {
+  std::vector<std::string> names;
+  for (const auto& entry : coll::algorithms_for(coll)) {
+    if (!entry.is_bine || entry.specialized) continue;
+    if (contiguous_only && (entry.name == "bine_block")) continue;
+    names.push_back(entry.name);
+  }
+  return best_of(coll, names, nodes, size_bytes);
+}
+
+std::pair<std::string, RunResult> Runner::best_binomial(Collective coll, i64 nodes,
+                                                        i64 size_bytes) {
+  switch (coll) {
+    case Collective::bcast:
+      return best_of(coll, {"binomial", "binomial_dh", "scatter_allgather"}, nodes,
+                     size_bytes);
+    case Collective::reduce:
+      return best_of(coll, {"binomial", "binomial_dh", "rs_gather"}, nodes, size_bytes);
+    case Collective::gather:
+    case Collective::scatter:
+      return best_of(coll, {"binomial"}, nodes, size_bytes);
+    case Collective::allgather:
+      return best_of(coll, {"recursive_doubling"}, nodes, size_bytes);
+    case Collective::reduce_scatter:
+      return best_of(coll, {"recursive_halving"}, nodes, size_bytes);
+    case Collective::allreduce:
+      return best_of(coll, {"recursive_doubling", "rabenseifner"}, nodes, size_bytes);
+    case Collective::alltoall:
+      return best_of(coll, {"bruck"}, nodes, size_bytes);
+  }
+  throw std::logic_error("unknown collective");
+}
+
+std::vector<std::string> Runner::sota_names(Collective coll) const {
+  std::vector<std::string> names;
+  for (const auto& entry : coll::algorithms_for(coll))
+    if (!entry.is_bine && !entry.specialized) names.push_back(entry.name);
+  return names;
+}
+
+}  // namespace bine::harness

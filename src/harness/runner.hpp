@@ -1,0 +1,84 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/allocation.hpp"
+#include "coll/registry.hpp"
+#include "net/profiles.hpp"
+
+/// Evaluation driver (the stand-in for the paper's PICO framework): runs a
+/// (system, collective, algorithm, nodes, vector size) combination through
+/// the simulator and caches topologies/placements across the sweep.
+namespace bine::harness {
+
+struct RunResult {
+  double seconds = 0;
+  i64 global_bytes = 0;
+  i64 total_bytes = 0;
+  size_t steps = 0;
+};
+
+/// Vector sizes used throughout Sec. 5 (bytes): 32 B ... 512 MiB. The bench
+/// binaries default to a subset for runtime reasons; pass `full` for all.
+[[nodiscard]] std::vector<i64> paper_vector_sizes(bool full);
+
+/// Human-readable size ("32 B", "2 KiB", "512 MiB").
+[[nodiscard]] std::string size_label(i64 bytes);
+
+class Runner {
+ public:
+  /// `spread_placement`: allocate nodes through the synthetic fragmented
+  /// scheduler (jobs span many groups, as observed on the real systems);
+  /// otherwise ranks map to consecutive nodes.
+  Runner(net::SystemProfile profile, bool spread_placement = true, u64 seed = 42);
+
+  [[nodiscard]] const net::SystemProfile& profile() const { return profile_; }
+
+  /// Simulate one algorithm; `size_bytes` is the collective's vector size.
+  [[nodiscard]] RunResult run(sched::Collective coll, const coll::AlgorithmEntry& algo,
+                              i64 nodes, i64 size_bytes);
+
+  /// Torus shape handed to the Appendix D generators (empty = near-cubic).
+  std::vector<i64> torus_dims;
+
+  /// Best (min simulated time) over a set of algorithm names; returns the
+  /// winning name alongside. Skips algorithms that reject the rank count.
+  [[nodiscard]] std::pair<std::string, RunResult> best_of(
+      sched::Collective coll, const std::vector<std::string>& names, i64 nodes,
+      i64 size_bytes);
+
+  /// Best over all registered Bine variants of the collective. When
+  /// `contiguous_only`, restricts to the strategies that send contiguous
+  /// data, matching the fair-comparison setup of Sec. 5.1.1.
+  [[nodiscard]] std::pair<std::string, RunResult> best_bine(sched::Collective coll,
+                                                            i64 nodes, i64 size_bytes,
+                                                            bool contiguous_only);
+
+  /// The binomial-family baseline for a collective, as the paper frames it
+  /// ("Comparison with Binomial Trees"): trees for rooted collectives,
+  /// recursive doubling/halving butterflies for the rootless ones, Bruck for
+  /// alltoall.
+  [[nodiscard]] std::pair<std::string, RunResult> best_binomial(sched::Collective coll,
+                                                                i64 nodes, i64 size_bytes);
+
+  /// All non-Bine algorithms registered for the collective.
+  [[nodiscard]] std::vector<std::string> sota_names(sched::Collective coll) const;
+
+ private:
+  struct Sized {
+    std::unique_ptr<net::Topology> topo;
+    net::Placement placement;
+  };
+  Sized& sized_for(i64 nodes);
+
+  net::SystemProfile profile_;
+  bool spread_placement_;
+  u64 seed_;
+  std::map<i64, Sized> cache_;
+};
+
+}  // namespace bine::harness

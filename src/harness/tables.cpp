@@ -1,0 +1,131 @@
+#include "harness/tables.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bine::harness {
+
+double geomean(const std::vector<double>& ratios) {
+  if (ratios.empty()) return 0;
+  double log_sum = 0;
+  for (const double r : ratios) log_sum += std::log(r + 1.0);
+  return std::exp(log_sum / static_cast<double>(ratios.size())) - 1.0;
+}
+
+void WinLoss::add(double t_bine, double t_other, i64 g_bine, i64 g_other) {
+  const double tie_band = 0.01;
+  if (t_bine < t_other * (1 - tie_band)) {
+    ++wins;
+    gains.push_back(t_other / t_bine - 1.0);
+  } else if (t_other < t_bine * (1 - tie_band)) {
+    ++losses;
+    drops.push_back(t_bine / t_other - 1.0);
+  } else {
+    ++ties;
+  }
+  if (g_other > 0)
+    traffic_red.push_back(1.0 - static_cast<double>(g_bine) / static_cast<double>(g_other));
+}
+
+void WinLoss::print_header(const std::string& title) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-14s %6s %8s %8s %6s %8s %8s %10s %10s\n", "Coll.", "%Win", "AvgGain",
+              "MaxGain", "%Loss", "AvgDrop", "MaxDrop", "AvgTrafRed", "MaxTrafRed");
+}
+
+std::string WinLoss::row(const std::string& name) const {
+  const i64 total = wins + losses + ties;
+  const double win_pct = total ? 100.0 * static_cast<double>(wins) / static_cast<double>(total) : 0;
+  const double loss_pct = total ? 100.0 * static_cast<double>(losses) / static_cast<double>(total) : 0;
+  const double avg_gain = 100.0 * geomean(gains);
+  const double max_gain = gains.empty() ? 0 : 100.0 * *std::max_element(gains.begin(), gains.end());
+  const double avg_drop = 100.0 * geomean(drops);
+  const double max_drop = drops.empty() ? 0 : 100.0 * *std::max_element(drops.begin(), drops.end());
+  double avg_red = 0, max_red = 0;
+  if (!traffic_red.empty()) {
+    for (const double t : traffic_red) avg_red += t;
+    avg_red = 100.0 * avg_red / static_cast<double>(traffic_red.size());
+    max_red = 100.0 * *std::max_element(traffic_red.begin(), traffic_red.end());
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-14s %5.0f%% %7.0f%% %7.0f%% %5.0f%% %7.0f%% %7.0f%% %9.0f%% %9.0f%%",
+                name.c_str(), win_pct, avg_gain, max_gain, loss_pct, avg_drop, max_drop,
+                avg_red, max_red);
+  return buf;
+}
+
+BoxStats BoxStats::of(std::vector<double> samples) {
+  BoxStats b;
+  b.n = static_cast<i64>(samples.size());
+  if (samples.empty()) return b;
+  std::sort(samples.begin(), samples.end());
+  auto q = [&](double f) {
+    const double pos = f * static_cast<double>(samples.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1 - frac) + samples[hi] * frac;
+  };
+  b.min = samples.front();
+  b.q1 = q(0.25);
+  b.median = q(0.5);
+  b.q3 = q(0.75);
+  b.max = samples.back();
+  for (const double s : samples) b.mean += s;
+  b.mean /= static_cast<double>(samples.size());
+  return b;
+}
+
+void BoxStats::print_header(const std::string& title, const std::string& value_name) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-18s %6s %8s %8s %8s %8s %8s %8s\n", "Label", "N", "Min", "Q1", "Median",
+              "Q3", "Max", ("Mean " + value_name).c_str());
+}
+
+std::string BoxStats::row(const std::string& label) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-18s %6lld %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%",
+                label.c_str(), static_cast<long long>(n), min, q1, median, q3, max, mean);
+  return buf;
+}
+
+char algorithm_letter(const std::string& name) {
+  if (name.find("ring") != std::string::npos) return 'R';
+  if (name.find("bruck") != std::string::npos) return 'B';
+  if (name.find("swing") != std::string::npos) return 'S';
+  if (name.find("linear") != std::string::npos || name.find("pairwise") != std::string::npos)
+    return 'L';
+  if (name.find("scatter_allgather") != std::string::npos ||
+      name.find("rs_gather") != std::string::npos)
+    return 'G';
+  if (name.find("rabenseifner") != std::string::npos) return 'F';
+  return 'N';  // binomial / recursive doubling / recursive halving family
+}
+
+void print_heatmap(const std::string& title, const std::vector<std::string>& col_labels,
+                   const std::vector<std::string>& row_labels,
+                   const std::vector<std::vector<HeatCell>>& cells) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-10s", "");
+  for (const auto& c : col_labels) std::printf(" %8s", c.c_str());
+  std::printf("\n");
+  for (size_t r = 0; r < cells.size(); ++r) {
+    std::printf("%-10s", row_labels[r].c_str());
+    for (const HeatCell& cell : cells[r]) {
+      if (cell.bine_best) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.2f", cell.ratio);
+        std::printf(" %8s", buf);
+      } else {
+        std::printf(" %8c", algorithm_letter(cell.best_name));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("(cells: ratio = Bine speedup over next best when Bine wins; letter = "
+              "best algorithm otherwise: N=binomial/butterfly, R=ring, B=bruck, "
+              "S=swing, L=linear, G=scatter-gather composite, F=rabenseifner)\n");
+}
+
+}  // namespace bine::harness

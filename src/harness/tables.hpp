@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// Report builders shared by the table/figure benches: geometric-mean
+/// win/loss tables (Tables 3-5), best-algorithm heatmaps (Figs. 9a/10a) and
+/// box-plot summaries (Figs. 5, 9b, 10b, 11).
+namespace bine::harness {
+
+/// Win/loss aggregation for one collective row of a Table 3-style table.
+struct WinLoss {
+  i64 wins = 0, losses = 0, ties = 0;
+  std::vector<double> gains;       ///< bine/other - 1 where bine wins (>0)
+  std::vector<double> drops;       ///< other/bine - 1 where bine loses (>0)
+  std::vector<double> traffic_red; ///< 1 - bine_global/other_global
+
+  void add(double t_bine, double t_other, i64 g_bine, i64 g_other);
+  [[nodiscard]] std::string row(const std::string& name) const;
+  static void print_header(const std::string& title);
+};
+
+/// Five-number summary (plus mean) for box plots.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+  i64 n = 0;
+  [[nodiscard]] static BoxStats of(std::vector<double> samples);
+  [[nodiscard]] std::string row(const std::string& label) const;
+  static void print_header(const std::string& title, const std::string& value_name);
+};
+
+/// Heatmap cell: either the best non-bine algorithm's letter, or the ratio
+/// bine achieves over the next best when bine wins.
+struct HeatCell {
+  bool bine_best = false;
+  double ratio = 1.0;        ///< next_best / bine when bine_best
+  std::string best_name;     ///< winning algorithm when not bine_best
+};
+
+void print_heatmap(const std::string& title, const std::vector<std::string>& col_labels,
+                   const std::vector<std::string>& row_labels,
+                   const std::vector<std::vector<HeatCell>>& cells);
+
+/// Letter codes used in the heatmaps (N = binomial family, R = ring,
+/// B = bruck, S = swing, L = linear/pairwise, G = scatter-allgather, ...).
+[[nodiscard]] char algorithm_letter(const std::string& name);
+
+[[nodiscard]] double geomean(const std::vector<double>& ratios);
+
+}  // namespace bine::harness

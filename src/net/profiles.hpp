@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/simulate.hpp"
+#include "net/topology.hpp"
+
+/// Parameter sets approximating the four systems of Table 2. Absolute
+/// numbers are indicative; what the reproduction needs is the *structure*:
+/// oversubscription ratios, locality tiers, and per-direction torus links.
+namespace bine::net {
+
+struct SystemProfile {
+  std::string name;         ///< "lumi", "leonardo", "mn5", "fugaku", "multigpu"
+  std::string description;  ///< topology summary printed by bench_table2
+  CostParams cost;
+  /// Build a topology instance sized for >= `nodes` endpoints.
+  std::function<std::unique_ptr<Topology>(i64 nodes)> build;
+};
+
+/// LUMI: Slingshot Dragonfly, 24 groups x 124 nodes; 200 Gb/s NICs;
+/// sparse global links between group pairs.
+[[nodiscard]] SystemProfile lumi_profile();
+
+/// Leonardo: InfiniBand HDR Dragonfly+, 23 groups x 180 nodes (modelled as a
+/// Dragonfly with a wider but still tapered global tier).
+[[nodiscard]] SystemProfile leonardo_profile();
+
+/// MareNostrum 5: 2:1 oversubscribed fat tree, 160-node full-bandwidth
+/// subtrees, InfiniBand NDR200.
+[[nodiscard]] SystemProfile mn5_profile();
+
+/// Fugaku: Tofu-D 6D torus; jobs see a 3D sub-torus; 6.8 GB/s per link and
+/// one NIC per direction. `dims` chooses the job sub-torus.
+[[nodiscard]] SystemProfile fugaku_profile(std::vector<i64> dims);
+
+/// Multi-GPU cluster (Sec. 6.2): 4 GPUs/node, fast all-to-all NVLink inside
+/// the node, 200 Gb/s NIC per GPU across nodes.
+[[nodiscard]] SystemProfile multigpu_profile();
+
+/// The profiles evaluated by the table/figure benches, in paper order.
+[[nodiscard]] std::vector<SystemProfile> main_profiles();
+
+}  // namespace bine::net

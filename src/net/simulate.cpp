@@ -1,0 +1,101 @@
+#include "net/simulate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bine::net {
+
+TrafficStats measure_traffic(const sched::Schedule& sch, const Topology& topo,
+                             const Placement& pl) {
+  TrafficStats stats;
+  std::vector<i64> path;
+  for (Rank r = 0; r < sch.p; ++r) {
+    for (const auto& step : sch.steps[static_cast<size_t>(r)]) {
+      for (const sched::Op& op : step.ops) {
+        if (op.kind != sched::OpKind::send) continue;
+        ++stats.messages;
+        path.clear();
+        topo.route(pl.node_of_rank[static_cast<size_t>(r)],
+                   pl.node_of_rank[static_cast<size_t>(op.peer)], path);
+        for (const i64 link : path) {
+          switch (topo.links()[static_cast<size_t>(link)].cls) {
+            case LinkClass::local: stats.local_bytes += op.bytes; break;
+            case LinkClass::global: stats.global_bytes += op.bytes; break;
+            case LinkClass::intra_node: stats.intra_node_bytes += op.bytes; break;
+          }
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+i64 inter_group_bytes(const sched::Schedule& sch, std::span<const i64> group_of_rank) {
+  i64 total = 0;
+  for (Rank r = 0; r < sch.p; ++r)
+    for (const auto& step : sch.steps[static_cast<size_t>(r)])
+      for (const sched::Op& op : step.ops)
+        if (op.kind == sched::OpKind::send &&
+            group_of_rank[static_cast<size_t>(r)] !=
+                group_of_rank[static_cast<size_t>(op.peer)])
+          total += op.bytes;
+  return total;
+}
+
+SimResult simulate(const sched::Schedule& sch, const Topology& topo, const Placement& pl,
+                   const CostParams& cp) {
+  SimResult result;
+  result.traffic = measure_traffic(sch, topo, pl);
+  result.steps = sch.num_steps();
+
+  std::vector<i64> path;
+  // Reused per step: link id -> accumulated bytes (sparse).
+  std::unordered_map<i64, i64> link_bytes;
+
+  for (size_t t = 0; t < sch.num_steps(); ++t) {
+    link_bytes.clear();
+    double max_rank_overhead = 0;
+    for (Rank r = 0; r < sch.p; ++r) {
+      double overhead = 0;
+      for (const sched::Op& op : sch.steps[static_cast<size_t>(r)][t].ops) {
+        switch (op.kind) {
+          case sched::OpKind::send: {
+            path.clear();
+            topo.route(pl.node_of_rank[static_cast<size_t>(r)],
+                       pl.node_of_rank[static_cast<size_t>(op.peer)], path);
+            bool crosses_global = false;
+            for (const i64 link : path) {
+              link_bytes[link] += op.bytes;
+              crosses_global |=
+                  topo.links()[static_cast<size_t>(link)].cls == LinkClass::global;
+            }
+            overhead += (crosses_global ? cp.alpha_global : cp.alpha_local) +
+                        static_cast<double>(std::max<i64>(0, op.segments - 1)) *
+                            cp.seg_overhead;
+            break;
+          }
+          case sched::OpKind::recv:
+            break;  // latency accounted on the sender side
+          case sched::OpKind::recv_reduce:
+            overhead += static_cast<double>(op.bytes) / cp.reduce_bandwidth;
+            break;
+          case sched::OpKind::local_perm:
+            overhead += static_cast<double>(op.bytes) / cp.mem_bandwidth +
+                        static_cast<double>(std::max<i64>(0, op.segments - 1)) *
+                            cp.seg_overhead;
+            break;
+        }
+      }
+      max_rank_overhead = std::max(max_rank_overhead, overhead);
+    }
+    double max_link_time = 0;
+    for (const auto& [link, bytes] : link_bytes)
+      max_link_time =
+          std::max(max_link_time, static_cast<double>(bytes) /
+                                      topo.links()[static_cast<size_t>(link)].bandwidth);
+    result.seconds += max_link_time + max_rank_overhead;
+  }
+  return result;
+}
+
+}  // namespace bine::net

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sched/schedule.hpp"
+
+/// Laying a schedule onto a topology: exact per-link-class traffic accounting
+/// (the paper's headline metric) and an alpha-beta-gamma cost model with
+/// per-step link contention for the what-wins-where comparisons.
+///
+/// Traffic is exact; time is modeled -- see DESIGN.md's substitutions table
+/// for why this preserves the paper's qualitative results.
+namespace bine::net {
+
+/// Rank -> node placement. Identity (one rank per node, block order) unless
+/// an allocation says otherwise.
+struct Placement {
+  std::vector<i64> node_of_rank;
+  [[nodiscard]] static Placement identity(i64 p) {
+    Placement pl;
+    pl.node_of_rank.resize(static_cast<size_t>(p));
+    for (i64 r = 0; r < p; ++r) pl.node_of_rank[static_cast<size_t>(r)] = r;
+    return pl;
+  }
+};
+
+struct TrafficStats {
+  i64 local_bytes = 0;
+  i64 global_bytes = 0;
+  i64 intra_node_bytes = 0;
+  i64 messages = 0;
+  [[nodiscard]] i64 total() const { return local_bytes + global_bytes + intra_node_bytes; }
+};
+
+/// Exact per-class byte counts of `sch` routed over `topo` under `pl`.
+[[nodiscard]] TrafficStats measure_traffic(const sched::Schedule& sch, const Topology& topo,
+                                           const Placement& pl);
+
+/// Bytes crossing group boundaries (no routing needed): the metric of Fig. 5
+/// and of the "Traffic Red." columns when groups have single logical pipes.
+[[nodiscard]] i64 inter_group_bytes(const sched::Schedule& sch,
+                                    std::span<const i64> group_of_rank);
+
+/// Cost-model knobs; per-link bandwidths come from the topology.
+struct CostParams {
+  double alpha_local = 1.5e-6;    ///< per-message latency, intra-group (s)
+  double alpha_global = 4.0e-6;   ///< per-message latency crossing global links (s)
+  double seg_overhead = 0.7e-6;   ///< per extra memory segment (pack/unpack, rendezvous)
+  double mem_bandwidth = 40e9;    ///< local permute/copy bandwidth (B/s)
+  double reduce_bandwidth = 25e9; ///< reduction throughput (B/s)
+};
+
+struct SimResult {
+  double seconds = 0;
+  TrafficStats traffic;
+  size_t steps = 0;
+};
+
+/// Synchronous-step simulation: each step costs
+///   max over links (bytes on link / bandwidth)
+/// + max over ranks  (sum of message alphas + segment overheads
+///                    + reduce bytes / reduce bw + permute bytes / mem bw).
+/// Total time is the sum over steps.
+[[nodiscard]] SimResult simulate(const sched::Schedule& sch, const Topology& topo,
+                                 const Placement& pl, const CostParams& cp);
+
+}  // namespace bine::net

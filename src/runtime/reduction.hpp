@@ -1,0 +1,59 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "core/types.hpp"
+
+/// Element-wise reduction operators with MPI semantics. All operators used by
+/// the collectives are associative and commutative (MPI assumes associativity
+/// by default, paper Sec. 2.1), which is what allows arbitrary tree shapes.
+namespace bine::runtime {
+
+enum class ReduceOp { sum, prod, min, max, band, bor, bxor };
+
+[[nodiscard]] constexpr const char* to_string(ReduceOp op) noexcept {
+  switch (op) {
+    case ReduceOp::sum: return "sum";
+    case ReduceOp::prod: return "prod";
+    case ReduceOp::min: return "min";
+    case ReduceOp::max: return "max";
+    case ReduceOp::band: return "band";
+    case ReduceOp::bor: return "bor";
+    case ReduceOp::bxor: return "bxor";
+  }
+  return "?";
+}
+
+namespace detail {
+template <typename T>
+[[nodiscard]] constexpr T apply_one(ReduceOp op, T a, T b) noexcept {
+  switch (op) {
+    case ReduceOp::sum: return static_cast<T>(a + b);
+    case ReduceOp::prod: return static_cast<T>(a * b);
+    case ReduceOp::min: return std::min(a, b);
+    case ReduceOp::max: return std::max(a, b);
+    case ReduceOp::band:
+      if constexpr (std::is_integral_v<T>) return static_cast<T>(a & b);
+      return a;  // bitwise ops undefined on floating point; identity
+    case ReduceOp::bor:
+      if constexpr (std::is_integral_v<T>) return static_cast<T>(a | b);
+      return a;
+    case ReduceOp::bxor:
+      if constexpr (std::is_integral_v<T>) return static_cast<T>(a ^ b);
+      return a;
+  }
+  return a;
+}
+}  // namespace detail
+
+/// accumulator[i] = op(accumulator[i], incoming[i])
+template <typename T>
+void reduce_into(ReduceOp op, std::span<T> accumulator, std::span<const T> incoming) {
+  assert(accumulator.size() == incoming.size());
+  for (size_t i = 0; i < accumulator.size(); ++i)
+    accumulator[i] = detail::apply_one(op, accumulator[i], incoming[i]);
+}
+
+}  // namespace bine::runtime

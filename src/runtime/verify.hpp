@@ -1,0 +1,134 @@
+#pragma once
+
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.hpp"
+
+/// Postcondition checkers: given the collective kind, the reduction operator
+/// and the original inputs, verify that an execution result matches the MPI
+/// semantics of that collective. Returns "" on success, else a diagnostic.
+namespace bine::runtime {
+
+namespace detail {
+
+/// Reference reduction of logical block `id` across all ranks' inputs.
+template <typename T>
+std::vector<T> reduced_block(const sched::Schedule& s, ReduceOp op,
+                             std::span<const std::vector<T>> inputs, i64 id) {
+  std::vector<T> acc = initial_block(s, inputs, 0, id);
+  for (Rank r = 1; r < s.p; ++r) {
+    const std::vector<T> next = initial_block(s, inputs, r, id);
+    reduce_into<T>(op, acc, next);
+  }
+  return acc;
+}
+
+template <typename T>
+std::string check_block([[maybe_unused]] const sched::Schedule& s, const ExecResult<T>& res,
+                        Rank holder, i64 id, const std::vector<T>& expected_data,
+                        const RankSet& expected_contrib) {
+  const BlockSlot<T>& slot =
+      res.ranks[static_cast<size_t>(holder)].slots[static_cast<size_t>(id)];
+  std::ostringstream err;
+  if (!slot.valid) {
+    err << "rank " << holder << " block " << id << " missing";
+    return err.str();
+  }
+  if (slot.data != expected_data) {
+    err << "rank " << holder << " block " << id << " has wrong data";
+    return err.str();
+  }
+  if (!(slot.contributors == expected_contrib)) {
+    err << "rank " << holder << " block " << id << " has wrong contributor set";
+    return err.str();
+  }
+  return {};
+}
+
+}  // namespace detail
+
+/// Verify the final state of `res` against the semantics of s.coll.
+template <typename T>
+std::string verify(const sched::Schedule& s, ReduceOp op,
+                   std::span<const std::vector<T>> inputs, const ExecResult<T>& res) {
+  using detail::check_block;
+  using detail::initial_block;
+  using sched::Collective;
+
+  const RankSet all = RankSet::full(s.p);
+  std::string err;
+  switch (s.coll) {
+    case Collective::bcast:
+      // Every rank holds every block with the root's data.
+      for (Rank r = 0; r < s.p; ++r)
+        for (i64 b = 0; b < s.nblocks; ++b) {
+          err = check_block(s, res, r, b, initial_block(s, inputs, s.root, b),
+                            RankSet::single(s.p, s.root));
+          if (!err.empty()) return err;
+        }
+      return {};
+    case Collective::reduce:
+      // The root holds every block fully reduced.
+      for (i64 b = 0; b < s.nblocks; ++b) {
+        err = check_block(s, res, s.root, b, detail::reduced_block(s, op, inputs, b), all);
+        if (!err.empty()) return err;
+      }
+      return {};
+    case Collective::gather:
+      // The root holds block b with rank b's contribution.
+      for (i64 b = 0; b < s.nblocks; ++b) {
+        err = check_block(s, res, s.root, b, initial_block(s, inputs, b, b),
+                          RankSet::single(s.p, b));
+        if (!err.empty()) return err;
+      }
+      return {};
+    case Collective::scatter:
+      // Rank r ends with block r carrying the root's data.
+      for (Rank r = 0; r < s.p; ++r) {
+        err = check_block(s, res, r, r, initial_block(s, inputs, s.root, r),
+                          RankSet::single(s.p, s.root));
+        if (!err.empty()) return err;
+      }
+      return {};
+    case Collective::allgather:
+      // Everyone holds block b with rank b's contribution.
+      for (Rank r = 0; r < s.p; ++r)
+        for (i64 b = 0; b < s.nblocks; ++b) {
+          err = check_block(s, res, r, b, initial_block(s, inputs, b, b),
+                            RankSet::single(s.p, b));
+          if (!err.empty()) return err;
+        }
+      return {};
+    case Collective::reduce_scatter:
+      // Rank r holds block r fully reduced.
+      for (Rank r = 0; r < s.p; ++r) {
+        err = check_block(s, res, r, r, detail::reduced_block(s, op, inputs, r), all);
+        if (!err.empty()) return err;
+      }
+      return {};
+    case Collective::allreduce:
+      // Everyone holds every block fully reduced.
+      for (Rank r = 0; r < s.p; ++r)
+        for (i64 b = 0; b < s.nblocks; ++b) {
+          err = check_block(s, res, r, b, detail::reduced_block(s, op, inputs, b), all);
+          if (!err.empty()) return err;
+        }
+      return {};
+    case Collective::alltoall:
+      // Rank r holds block (src, r) for every src.
+      for (Rank r = 0; r < s.p; ++r)
+        for (Rank src = 0; src < s.p; ++src) {
+          const i64 id = src * s.p + r;
+          err = check_block(s, res, r, id, initial_block(s, inputs, src, id),
+                            RankSet::single(s.p, src));
+          if (!err.empty()) return err;
+        }
+      return {};
+  }
+  return "unknown collective";
+}
+
+}  // namespace bine::runtime

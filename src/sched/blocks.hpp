@@ -1,0 +1,89 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// Block bookkeeping for collective schedules.
+///
+/// A collective on a vector of `n` elements over `B` blocks assigns block `b`
+/// the contiguous element range [offset(b), offset(b+1)), with sizes differing
+/// by at most one element (the usual MPI convention for non-divisible counts).
+namespace bine::sched {
+
+/// First element of block `b` when `n` elements are split into `B` blocks.
+[[nodiscard]] constexpr i64 block_offset(i64 b, i64 n, i64 B) noexcept {
+  assert(b >= 0 && b <= B && B > 0);
+  const i64 base = n / B, extra = n % B;
+  return b * base + (b < extra ? b : extra);
+}
+
+/// Number of elements in block `b`.
+[[nodiscard]] constexpr i64 block_elems(i64 b, i64 n, i64 B) noexcept {
+  return block_offset(b + 1, n, B) - block_offset(b, n, B);
+}
+
+/// A circular run of `count` consecutive block ids starting at `begin`
+/// (indices taken mod B). count in [0, B].
+struct BlockRange {
+  i64 begin = 0;
+  i64 count = 0;
+};
+
+/// An ordered set of disjoint circular block ranges.
+struct BlockSet {
+  std::vector<BlockRange> ranges;
+
+  [[nodiscard]] static BlockSet single(i64 block) { return BlockSet{{{block, 1}}}; }
+  [[nodiscard]] static BlockSet run(i64 begin, i64 count) { return BlockSet{{{begin, count}}}; }
+  [[nodiscard]] static BlockSet all(i64 B) { return BlockSet{{{0, B}}}; }
+
+  [[nodiscard]] i64 block_count() const noexcept {
+    i64 total = 0;
+    for (const BlockRange& r : ranges) total += r.count;
+    return total;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return block_count() == 0; }
+
+  /// Number of contiguous *memory* segments the set occupies when blocks are
+  /// laid out in id order: a circular run that wraps past B-1 splits in two
+  /// (this is exactly the paper's "Two Transmissions" effect, Sec. 4.3.1).
+  [[nodiscard]] i64 memory_segments(i64 B) const noexcept {
+    i64 segs = 0;
+    for (const BlockRange& r : ranges) {
+      if (r.count == 0) continue;
+      segs += (r.begin + r.count > B) ? 2 : 1;
+    }
+    return segs;
+  }
+
+  /// Materialize the block ids in range order.
+  [[nodiscard]] std::vector<i64> expand(i64 B) const {
+    std::vector<i64> ids;
+    ids.reserve(static_cast<size_t>(block_count()));
+    for (const BlockRange& r : ranges)
+      for (i64 k = 0; k < r.count; ++k) ids.push_back(pmod(r.begin + k, B));
+    return ids;
+  }
+
+  /// Total elements covered when `n` elements are split into `B` blocks.
+  /// O(#ranges), not O(#blocks).
+  [[nodiscard]] i64 elem_count(i64 n, i64 B) const {
+    i64 total = 0;
+    for (const BlockRange& r : ranges) {
+      const i64 head = std::min(r.count, B - r.begin);
+      total += block_offset(r.begin + head, n, B) - block_offset(r.begin, n, B);
+      const i64 tail = r.count - head;  // wrapped part, restarting at block 0
+      if (tail > 0) total += block_offset(tail, n, B);
+    }
+    return total;
+  }
+};
+
+/// Build a BlockSet from an arbitrary list of distinct ids: sorts them and
+/// coalesces consecutive runs, joining circularly across the B-1/0 boundary.
+[[nodiscard]] BlockSet blockset_from_ids(std::vector<i64> ids, i64 B);
+
+}  // namespace bine::sched

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sched/blocks.hpp"
+
+/// The schedule intermediate representation.
+///
+/// Every collective algorithm in this library -- Bine or baseline -- is a
+/// *schedule generator*: a pure function producing, for each rank, a sequence
+/// of synchronized steps of send/recv/local operations over logical blocks.
+/// One schedule serves two consumers:
+///   * runtime::Executor runs it over real buffers and verifies semantics;
+///   * net::simulate lays it onto a topology model for traffic/time.
+namespace bine::sched {
+
+enum class Collective {
+  bcast,
+  reduce,
+  gather,
+  scatter,
+  allgather,
+  reduce_scatter,
+  allreduce,
+  alltoall,
+};
+
+[[nodiscard]] constexpr const char* to_string(Collective c) noexcept {
+  switch (c) {
+    case Collective::bcast: return "bcast";
+    case Collective::reduce: return "reduce";
+    case Collective::gather: return "gather";
+    case Collective::scatter: return "scatter";
+    case Collective::allgather: return "allgather";
+    case Collective::reduce_scatter: return "reduce_scatter";
+    case Collective::allreduce: return "allreduce";
+    case Collective::alltoall: return "alltoall";
+  }
+  return "?";
+}
+
+/// How logical block ids map onto data.
+enum class BlockSpace {
+  /// B blocks shared across ranks: block b always means element range b of
+  /// *the* vector (bcast/reduce/scatter/gather/allgather/... semantics).
+  per_vector,
+  /// p*p blocks: id s*p + d is the data rank s sends to rank d (alltoall).
+  pairwise,
+};
+
+enum class OpKind {
+  send,        ///< transmit blocks to `peer`
+  recv,        ///< receive blocks from `peer`, replacing slot contents
+  recv_reduce, ///< receive blocks from `peer`, folding into slots with the op
+  local_perm,  ///< local buffer shuffle (costs memory bandwidth, moves no bytes on wires)
+};
+
+/// One operation of one rank within one step.
+struct Op {
+  OpKind kind = OpKind::send;
+  Rank peer = -1;      ///< counterpart rank (unused for local_perm)
+  BlockSet blocks;     ///< logical block ids (empty in coarse mode)
+  i64 bytes = 0;       ///< wire bytes (local_perm: bytes shuffled in memory)
+  i64 segments = 1;    ///< contiguous memory segments touched by this op
+};
+
+/// All ops a rank performs in one synchronized step. Sends and receives in
+/// the same step proceed concurrently (sendrecv exchange).
+struct RankStep {
+  std::vector<Op> ops;
+};
+
+struct Schedule {
+  Collective coll{};
+  std::string algorithm;  ///< generator name, e.g. "bine_dh_tree"
+  i64 p = 0;              ///< number of ranks
+  i64 nblocks = 0;        ///< number of logical blocks (p*p for pairwise)
+  BlockSpace space = BlockSpace::per_vector;
+  i64 elem_count = 0;     ///< vector length (elements, per the collective's convention)
+  i64 elem_size = 4;      ///< bytes per element
+  Rank root = 0;          ///< for rooted collectives
+  bool detail = true;     ///< block-accurate ops (required by the executor)
+  /// steps[rank][step]
+  std::vector<std::vector<RankStep>> steps;
+
+  [[nodiscard]] size_t num_steps() const noexcept {
+    return steps.empty() ? 0 : steps.front().size();
+  }
+
+  /// Bytes covered by a block set under this schedule's vector config.
+  [[nodiscard]] i64 bytes_of(const BlockSet& set) const {
+    return set.elem_count(total_elems(), nblocks) * elem_size;
+  }
+
+  /// Total elements across the block space (pairwise: p vectors of elem_count).
+  [[nodiscard]] i64 total_elems() const noexcept {
+    return space == BlockSpace::pairwise ? elem_count * p : elem_count;
+  }
+
+  /// Append a matched send/recv pair at `step` (growing step vectors as
+  /// needed). `segments` overrides the memory-contiguity estimate derived
+  /// from the block set (-1 = derive): strategies that pack (Permute/Send)
+  /// force 1, strategies that issue per-block sends force the block count.
+  void add_exchange(size_t step, Rank from, Rank to, BlockSet blocks, bool reduce,
+                    i64 segments = -1);
+
+  /// Append a one-sided op (local_perm).
+  void add_local(size_t step, Rank r, i64 bytes_moved, i64 segs);
+
+  /// Ensure all ranks have the same number of steps (pad with empty).
+  void normalize_steps();
+
+  /// Sum of wire bytes over all sends.
+  [[nodiscard]] i64 total_wire_bytes() const;
+
+  /// Structural validation: every send has a matching recv in the same step
+  /// with the same blocks/bytes, peers are in range, block ids valid.
+  /// Returns an empty string when valid, else a description of the problem.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace bine::sched

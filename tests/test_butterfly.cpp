@@ -1,0 +1,215 @@
+#include "core/butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/block_perm.hpp"
+#include "core/modular.hpp"
+#include "core/nu.hpp"
+#include "core/tree.hpp"
+
+namespace bc = bine::core;
+using bc::ButterflyVariant;
+using bine::i64;
+using bine::Rank;
+using bine::u64;
+
+// --- Paper worked examples ----------------------------------------------------
+
+TEST(BineButterfly, DhStepDistancesFor8Ranks) {
+  // Eq. 4 with s=3: distances (1-(-2)^3)/3 = 3, then -1, then 1.
+  EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::bine_dh, 0, 0, 8), 3);
+  EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::bine_dh, 0, 1, 8), 7);
+  EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::bine_dh, 0, 2, 8), 1);
+}
+
+TEST(BineButterfly, DdRootSequenceFor8Ranks) {
+  // Eq. 5: rank 0 meets 1 (step 0), -1=7 (step 1), 3 (step 2).
+  EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::bine_dd, 0, 0, 8), 1);
+  EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::bine_dd, 0, 1, 8), 7);
+  EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::bine_dd, 0, 2, 8), 3);
+}
+
+TEST(StandardButterfly, RecursiveDoublingAndHalving) {
+  EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::recursive_doubling, 0, 0, 8), 1);
+  EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::recursive_doubling, 0, 2, 8), 4);
+  EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::recursive_halving, 0, 0, 8), 4);
+  EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::recursive_halving, 0, 2, 8), 1);
+}
+
+// --- Matching / consistency properties -----------------------------------------
+
+struct BflyCase {
+  ButterflyVariant variant;
+  i64 p;
+};
+
+class ButterflyMatching : public ::testing::TestWithParam<BflyCase> {};
+
+TEST_P(ButterflyMatching, EveryStepIsAPerfectMatching) {
+  const auto [variant, p] = GetParam();
+  const int s = bine::log2_exact(p);
+  for (int step = 0; step < s; ++step) {
+    for (Rank r = 0; r < p; ++r) {
+      const Rank q = bc::butterfly_partner(variant, r, step, p);
+      ASSERT_GE(q, 0);
+      ASSERT_LT(q, p);
+      EXPECT_NE(q, r);
+      EXPECT_EQ(bc::butterfly_partner(variant, q, step, p), r)
+          << to_string(variant) << " p=" << p << " r=" << r << " step=" << step;
+    }
+  }
+}
+
+TEST_P(ButterflyMatching, FullPatternConnectsAllRanks) {
+  // After s steps, data starting at any rank can have reached every rank:
+  // the union of matchings forms a connected hypercube-like graph.
+  const auto [variant, p] = GetParam();
+  const int s = bine::log2_exact(p);
+  std::vector<char> reached(static_cast<size_t>(p), 0);
+  reached[0] = 1;
+  for (int step = 0; step < s; ++step) {
+    std::vector<char> next = reached;
+    for (Rank r = 0; r < p; ++r)
+      if (reached[static_cast<size_t>(r)])
+        next[static_cast<size_t>(bc::butterfly_partner(variant, r, step, p))] = 1;
+    reached = std::move(next);
+  }
+  for (Rank r = 0; r < p; ++r) EXPECT_TRUE(reached[static_cast<size_t>(r)]) << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, ButterflyMatching,
+    ::testing::Values(BflyCase{ButterflyVariant::recursive_doubling, 16},
+                      BflyCase{ButterflyVariant::recursive_doubling, 256},
+                      BflyCase{ButterflyVariant::recursive_halving, 16},
+                      BflyCase{ButterflyVariant::recursive_halving, 256},
+                      BflyCase{ButterflyVariant::bine_dh, 2},
+                      BflyCase{ButterflyVariant::bine_dh, 16},
+                      BflyCase{ButterflyVariant::bine_dh, 256},
+                      BflyCase{ButterflyVariant::bine_dh, 1024},
+                      BflyCase{ButterflyVariant::bine_dd, 2},
+                      BflyCase{ButterflyVariant::bine_dd, 16},
+                      BflyCase{ButterflyVariant::bine_dd, 256},
+                      BflyCase{ButterflyVariant::bine_dd, 1024},
+                      BflyCase{ButterflyVariant::swing, 64}),
+    [](const ::testing::TestParamInfo<BflyCase>& ti) {
+      return std::string(to_string(ti.param.variant)) + "_p" + std::to_string(ti.param.p);
+    });
+
+TEST(ButterflyTreeConsistency, DhTreeEdgesFollowEq4) {
+  // The distance-halving Bine tree rooted at 0 is embedded in the
+  // distance-halving Bine butterfly (Sec. 3.1): every tree send at step i
+  // uses the Eq. 4 partner.
+  for (const i64 p : {4, 8, 16, 64, 256}) {
+    const int s = bine::log2_exact(p);
+    for (Rank r = 0; r < p; ++r) {
+      const int joined = bc::join_step(bc::TreeVariant::bine_dh, r, p);
+      for (int step = joined + 1; step < s; ++step) {
+        EXPECT_EQ(bc::tree_partner(bc::TreeVariant::bine_dh, r, step, p),
+                  bc::butterfly_partner(ButterflyVariant::bine_dh, r, step, p))
+            << "p=" << p << " r=" << r << " step=" << step;
+      }
+    }
+  }
+}
+
+TEST(ButterflyTreeConsistency, DdTreeEdgesSatisfyNuRelation) {
+  // Sec. 3.2.2: tree partner q of r at step j satisfies nu(q) = nu(r) ^ 2^j.
+  for (const i64 p : {4, 8, 16, 64, 256}) {
+    const int s = bine::log2_exact(p);
+    for (Rank r = 0; r < p; ++r) {
+      const int joined = bc::join_step(bc::TreeVariant::bine_dd, r, p);
+      for (int step = joined + 1; step < s; ++step) {
+        const Rank q = bc::tree_partner(bc::TreeVariant::bine_dd, r, step, p);
+        EXPECT_EQ(bc::nu(q, p), bc::nu(r, p) ^ (u64{1} << step))
+            << "p=" << p << " r=" << r << " step=" << step;
+      }
+    }
+  }
+}
+
+TEST(ButterflyTreeConsistency, SwingSharesBineDdPeers) {
+  // Sec. 4.4: Bine's large-vector pattern is "similar to the Swing
+  // algorithm"; in our model they share the exact peer schedule and differ in
+  // data layout only.
+  for (const i64 p : {8, 64, 512}) {
+    const int s = bine::log2_exact(p);
+    for (Rank r = 0; r < p; ++r)
+      for (int step = 0; step < s; ++step)
+        EXPECT_EQ(bc::butterfly_partner(ButterflyVariant::swing, r, step, p),
+                  bc::butterfly_partner(ButterflyVariant::bine_dd, r, step, p));
+  }
+}
+
+TEST(ButterflyLocality, BineDhShortensDistancesVsRecursiveHalving) {
+  // Aggregate modular distance over all (rank, step) pairs must be lower for
+  // the Bine butterfly -- the mechanism behind the 33% traffic cut.
+  for (const i64 p : {16, 64, 256, 1024}) {
+    const int s = bine::log2_exact(p);
+    i64 bine_total = 0, std_total = 0;
+    for (Rank r = 0; r < p; ++r)
+      for (int step = 0; step < s; ++step) {
+        bine_total += bc::modular_distance(
+            r, bc::butterfly_partner(ButterflyVariant::bine_dh, r, step, p), p);
+        std_total += bc::modular_distance(
+            r, bc::butterfly_partner(ButterflyVariant::recursive_halving, r, step, p), p);
+      }
+    EXPECT_LT(bine_total, std_total) << "p=" << p;
+    // Expect roughly the 2/3 ratio of Eq. 2.
+    const double ratio = static_cast<double>(bine_total) / static_cast<double>(std_total);
+    EXPECT_NEAR(ratio, 2.0 / 3.0, 0.08) << "p=" << p;
+  }
+}
+
+// --- Block permutation (Fig. 8) -------------------------------------------------
+
+TEST(BlockPermutation, Fig8Row) {
+  // Fig. 8: dest positions (reverse(nu(i))) = 000 100 110 001 011 111 101 010.
+  const i64 expected[8] = {0, 4, 6, 1, 3, 7, 5, 2};
+  for (i64 i = 0; i < 8; ++i) EXPECT_EQ(bc::permuted_position(i, 8), expected[i]) << i;
+}
+
+TEST(BlockPermutation, IsBijectionAndInverse) {
+  for (const i64 p : {2, 4, 8, 16, 64, 256, 1024}) {
+    const auto perm = bc::contiguity_permutation(p);
+    const auto inv = bc::inverse_contiguity_permutation(p);
+    std::vector<int> seen(static_cast<size_t>(p), 0);
+    for (i64 i = 0; i < p; ++i) {
+      seen[static_cast<size_t>(perm[static_cast<size_t>(i)])]++;
+      EXPECT_EQ(inv[static_cast<size_t>(perm[static_cast<size_t>(i)])], i);
+    }
+    for (i64 i = 0; i < p; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], 1);
+  }
+}
+
+TEST(BlockPermutation, MakesDdSubtreeBlocksContiguous) {
+  // The whole point of Fig. 8: blocks of any bine_dd subtree land in a
+  // contiguous region after the permutation.
+  for (const i64 p : {8, 16, 32, 64, 128}) {
+    for (Rank r = 1; r < p; ++r) {
+      std::vector<i64> dests;
+      for (const Rank m : bc::dd_subtree_members(r, p))
+        dests.push_back(bc::permuted_position(m, p));
+      std::sort(dests.begin(), dests.end());
+      for (size_t k = 1; k < dests.size(); ++k)
+        EXPECT_EQ(dests[k], dests[k - 1] + 1) << "p=" << p << " subtree root " << r;
+    }
+  }
+}
+
+TEST(BlockPermutation, PaperSendExample) {
+  // Sec. 4.3.1 "Send": rank 1 ships its block to reverse(nu(1)) = 4.
+  EXPECT_EQ(bc::send_strategy_peer(1, 8), 4);
+}
+
+TEST(BlockPermutation, Fig8Step0BlocksOfRank0) {
+  // At step 0 of the 8-rank reduce-scatter, rank 0 sends all blocks whose nu
+  // has LSB 1: blocks 1, 2, 5, 6; after permutation they occupy positions 4-7.
+  std::vector<i64> dests;
+  for (const i64 b : {1, 2, 5, 6}) dests.push_back(bc::permuted_position(b, 8));
+  std::sort(dests.begin(), dests.end());
+  EXPECT_EQ(dests, (std::vector<i64>{4, 5, 6, 7}));
+}

@@ -1,0 +1,221 @@
+#include "core/negabinary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/modular.hpp"
+#include "core/nu.hpp"
+
+namespace bc = bine::core;
+using bine::i64;
+using bine::Rank;
+using bine::u64;
+
+// --- Paper worked examples (Sec. 2.3.1, Fig. 3, Fig. 4, Fig. 6) ------------
+
+TEST(Negabinary, PaperExampleTwoIs110) {
+  // "the number 2 is represented as 110_{-2}"
+  EXPECT_EQ(bc::to_negabinary(2), 0b110u);
+  EXPECT_EQ(bc::from_negabinary(0b110), 2);
+}
+
+TEST(Negabinary, PaperExampleMinusOneIs011) {
+  // "negabinary representations can encode both positive and negative
+  //  integers (e.g., 011_{-2} = -1)"
+  EXPECT_EQ(bc::from_negabinary(0b011), -1);
+  EXPECT_EQ(bc::to_negabinary(-1), 0b11u);
+}
+
+TEST(Negabinary, PaperExampleMaxOnSixBitsIs21) {
+  // "on six bits m = 010101_{-2} = 16 + 4 + 1 = 21"
+  EXPECT_EQ(bc::max_on_bits(6), 21);
+}
+
+TEST(Negabinary, MaxOnBitsSmallCases) {
+  EXPECT_EQ(bc::max_on_bits(1), 1);
+  EXPECT_EQ(bc::max_on_bits(2), 1);
+  EXPECT_EQ(bc::max_on_bits(3), 5);  // 101_{-2} = 4 + 1 (Fig. 3 E)
+  EXPECT_EQ(bc::max_on_bits(4), 5);
+  EXPECT_EQ(bc::max_on_bits(5), 21);
+}
+
+TEST(Negabinary, MinOnBitsSmallCases) {
+  EXPECT_EQ(bc::min_on_bits(1), 0);
+  EXPECT_EQ(bc::min_on_bits(2), -2);
+  EXPECT_EQ(bc::min_on_bits(3), -2);
+  EXPECT_EQ(bc::min_on_bits(4), -10);
+}
+
+TEST(Negabinary, PaperRank2NbExamples) {
+  // "rank2nb(2, 8) = 110_{-2} and rank2nb(6, 8) = 010_{-2}"
+  EXPECT_EQ(bc::rank2nb(2, 8), 0b110u);
+  EXPECT_EQ(bc::rank2nb(6, 8), 0b010u);
+  // Fig. 3 G: rank 6 in an 8-node tree is represented as 6 - 8 = -2.
+  EXPECT_EQ(bc::from_negabinary(0b010), -2);
+  // Fig. 4 A: rank2nb(8) = 1000 on 16 ranks.
+  EXPECT_EQ(bc::rank2nb(8, 16), 0b1000u);
+  // Fig. 4 B: rank 7 is 1011 on 16 ranks.
+  EXPECT_EQ(bc::rank2nb(7, 16), 0b1011u);
+}
+
+TEST(Negabinary, EqualLsbRunPaperExamples) {
+  // "for a 16-node Bine tree, u = 3 for 1000, and u = 2 for 1011"
+  EXPECT_EQ(bc::equal_lsb_run(0b1000, 4), 3);
+  EXPECT_EQ(bc::equal_lsb_run(0b1011, 4), 2);
+  EXPECT_EQ(bc::equal_lsb_run(0b0000, 4), 4);
+  EXPECT_EQ(bc::equal_lsb_run(0b1111, 4), 4);
+  EXPECT_EQ(bc::equal_lsb_run(0b0001, 4), 1);
+}
+
+TEST(Negabinary, OnesValueMatchesClosedForm) {
+  // sum_{k=0}^{c-1} (-2)^k == (1 - (-2)^c) / 3
+  i64 pow = 1;  // (-2)^c
+  for (int c = 0; c <= 20; ++c) {
+    EXPECT_EQ(bc::negabinary_ones_value(c), (1 - pow) / 3) << "c=" << c;
+    pow *= -2;
+  }
+  EXPECT_EQ(bc::negabinary_ones_value(0), 0);
+  EXPECT_EQ(bc::negabinary_ones_value(1), 1);
+  EXPECT_EQ(bc::negabinary_ones_value(2), -1);
+  EXPECT_EQ(bc::negabinary_ones_value(3), 3);
+  EXPECT_EQ(bc::negabinary_ones_value(4), -5);
+  EXPECT_EQ(bc::negabinary_ones_value(5), 11);
+}
+
+// --- Properties -------------------------------------------------------------
+
+class NegabinaryRoundTrip : public ::testing::TestWithParam<i64> {};
+
+TEST_P(NegabinaryRoundTrip, Nb2RankInvertsRank2Nb) {
+  const i64 p = GetParam();
+  for (Rank r = 0; r < p; ++r) {
+    EXPECT_EQ(bc::nb2rank(bc::rank2nb(r, p), p), r) << "p=" << p << " r=" << r;
+  }
+}
+
+TEST_P(NegabinaryRoundTrip, SBitPatternsCoverAllRanks) {
+  const i64 p = GetParam();
+  std::vector<int> seen(static_cast<size_t>(p), 0);
+  for (u64 nb = 0; nb < static_cast<u64>(p); ++nb)
+    seen[static_cast<size_t>(bc::nb2rank(nb, p))]++;
+  for (Rank r = 0; r < p; ++r) EXPECT_EQ(seen[static_cast<size_t>(r)], 1);
+}
+
+TEST_P(NegabinaryRoundTrip, RepresentableRangeIsContiguous) {
+  const i64 p = GetParam();
+  const int s = bine::log2_exact(p);
+  EXPECT_EQ(bc::max_on_bits(s) - bc::min_on_bits(s) + 1, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, NegabinaryRoundTrip,
+                         ::testing::Values<i64>(2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+                                                4096, 8192));
+
+TEST(Negabinary, EncodeDecodeRoundTripWideRange) {
+  for (i64 v = -5000; v <= 5000; ++v) {
+    EXPECT_EQ(bc::from_negabinary(bc::to_negabinary(v)), v) << v;
+  }
+}
+
+TEST(Negabinary, EncodeMatchesDefinition) {
+  // Each encoded pattern re-evaluates to the value under sum b_j (-2)^j.
+  for (i64 v = -200; v <= 200; ++v) {
+    const u64 bits = bc::to_negabinary(v);
+    i64 acc = 0, pow = 1;
+    for (int j = 0; j < 63; ++j) {
+      if ((bits >> j) & 1) acc += pow;
+      pow *= -2;
+    }
+    EXPECT_EQ(acc, v);
+  }
+}
+
+// --- nu representation (Sec. 3.2.1) -----------------------------------------
+
+TEST(Nu, PaperFig6Examples) {
+  // r = 1 (odd):  h = rank2nb(1) = 001, nu = 001 ^ 000 = 001
+  EXPECT_EQ(bc::h_repr(1, 8), 0b001u);
+  EXPECT_EQ(bc::nu(1, 8), 0b001u);
+  // r = 6 (even): h = rank2nb(8 - 6) = rank2nb(2) = 110, nu = 110 ^ 011 = 101
+  EXPECT_EQ(bc::h_repr(6, 8), 0b110u);
+  EXPECT_EQ(bc::nu(6, 8), 0b101u);
+}
+
+TEST(Nu, Fig6FullRowFor8Ranks) {
+  // nu(rank) row in Fig. 6: 000 001 011 100 110 111 101 010
+  const u64 expected[8] = {0b000, 0b001, 0b011, 0b100, 0b110, 0b111, 0b101, 0b010};
+  for (Rank r = 0; r < 8; ++r) EXPECT_EQ(bc::nu(r, 8), expected[r]) << "r=" << r;
+}
+
+class NuBijection : public ::testing::TestWithParam<i64> {};
+
+TEST_P(NuBijection, NuIsBijective) {
+  const i64 p = GetParam();
+  std::vector<int> seen(static_cast<size_t>(p), 0);
+  for (Rank r = 0; r < p; ++r) {
+    const u64 v = bc::nu(r, p);
+    ASSERT_LT(v, static_cast<u64>(p));
+    seen[static_cast<size_t>(v)]++;
+  }
+  for (i64 v = 0; v < p; ++v) EXPECT_EQ(seen[static_cast<size_t>(v)], 1) << v;
+}
+
+TEST_P(NuBijection, NuInverseInvertsNu) {
+  const i64 p = GetParam();
+  for (Rank r = 0; r < p; ++r) {
+    EXPECT_EQ(bc::nu_inverse(bc::nu(r, p), p), r) << "p=" << p << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, NuBijection,
+                         ::testing::Values<i64>(2, 4, 8, 16, 32, 64, 256, 1024, 4096));
+
+TEST(Nu, GrayDecodeInvertsGrayEncode) {
+  for (u64 v = 0; v < 4096; ++v) {
+    EXPECT_EQ(bc::gray_decode(v ^ (v >> 1)), v);
+  }
+}
+
+TEST(Nu, ReverseBits) {
+  EXPECT_EQ(bc::reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(bc::reverse_bits(0b011, 3), 0b110u);
+  EXPECT_EQ(bc::reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(bc::reverse_bits(0b1011, 4), 0b1101u);
+  for (u64 v = 0; v < 256; ++v) EXPECT_EQ(bc::reverse_bits(bc::reverse_bits(v, 8), 8), v);
+}
+
+// --- modular distance (Sec. 2.2) --------------------------------------------
+
+TEST(Modular, Distance) {
+  EXPECT_EQ(bc::modular_distance(0, 15, 16), 1);
+  EXPECT_EQ(bc::modular_distance(0, 8, 16), 8);
+  EXPECT_EQ(bc::modular_distance(0, 1, 16), 1);
+  EXPECT_EQ(bc::modular_distance(2, 2, 16), 0);
+  EXPECT_EQ(bc::modular_distance(0, 2, 3), 1);  // Sec 2.2: ranks 0 and 2 of 3
+}
+
+TEST(Modular, DistanceSymmetry) {
+  const i64 p = 37;
+  for (Rank r = 0; r < p; ++r)
+    for (Rank q = 0; q < p; ++q) {
+      EXPECT_EQ(bc::modular_distance(r, q, p), bc::modular_distance(q, r, p));
+      EXPECT_LE(bc::modular_distance(r, q, p), p / 2);
+    }
+}
+
+TEST(Modular, DisplacementConsistency) {
+  const i64 p = 16;
+  for (Rank r = 0; r < p; ++r)
+    for (Rank q = 0; q < p; ++q) {
+      const i64 d = bc::modular_displacement(r, q, p);
+      EXPECT_EQ(bine::pmod(r + d, p), q);
+      EXPECT_GT(d, -p / 2 - 1);
+      EXPECT_LE(d, p / 2);
+    }
+}
+
+TEST(Modular, RotationRoundTrip) {
+  const i64 p = 32;
+  for (Rank root = 0; root < p; ++root)
+    for (Rank r = 0; r < p; ++r)
+      EXPECT_EQ(bc::to_physical(bc::to_logical(r, root, p), root, p), r);
+}

@@ -1,0 +1,77 @@
+// Registry surface: lookups, metadata, and the recommended-algorithm policy
+// of Sec. 4.4/4.5, which must always return an executable-and-correct entry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coll/registry.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/verify.hpp"
+
+using namespace bine;
+
+TEST(Registry, AllCollectivesHaveABineAndABaseline) {
+  for (const sched::Collective coll : coll::all_collectives()) {
+    const auto& entries = coll::algorithms_for(coll);
+    EXPECT_GE(entries.size(), 3u) << to_string(coll);
+    bool has_bine = false, has_baseline = false;
+    std::set<std::string> names;
+    for (const auto& e : entries) {
+      EXPECT_TRUE(names.insert(e.name).second) << "duplicate name " << e.name;
+      has_bine |= e.is_bine && !e.specialized;
+      has_baseline |= !e.is_bine && !e.specialized;
+    }
+    EXPECT_TRUE(has_bine) << to_string(coll);
+    EXPECT_TRUE(has_baseline) << to_string(coll);
+  }
+}
+
+TEST(Registry, FindAlgorithmThrowsOnUnknownName) {
+  EXPECT_THROW((void)coll::find_algorithm(sched::Collective::bcast, "nope"),
+               std::out_of_range);
+}
+
+TEST(Registry, RecommendedPolicyMatchesPaper) {
+  using sched::Collective;
+  // Small vectors: tree / recursive-doubling variants (Sec. 4.4/4.5).
+  EXPECT_EQ(coll::recommended_algorithm(Collective::bcast, 64, 1024).name, "bine");
+  EXPECT_EQ(coll::recommended_algorithm(Collective::allreduce, 64, 1024).name,
+            "bine_small");
+  // Large vectors: composed variants with contiguous transmissions.
+  EXPECT_EQ(coll::recommended_algorithm(Collective::bcast, 64, 8 << 20).name,
+            "bine_scatter_allgather");
+  EXPECT_EQ(coll::recommended_algorithm(Collective::allreduce, 64, 8 << 20).name,
+            "bine_send");
+  EXPECT_EQ(coll::recommended_algorithm(Collective::reduce, 64, 8 << 20).name,
+            "bine_rs_gather");
+  // Non-power-of-two falls back to strategies that support it.
+  EXPECT_EQ(coll::recommended_algorithm(Collective::allreduce, 48, 8 << 20).name,
+            "bine_two_trans");
+  EXPECT_EQ(coll::recommended_algorithm(Collective::alltoall, 48, 1024).name, "bruck");
+}
+
+TEST(Registry, RecommendedAlgorithmsExecuteCorrectly) {
+  for (const sched::Collective coll : coll::all_collectives()) {
+    for (const i64 p : {8, 12, 16}) {
+      for (const i64 bytes : {i64{512}, i64{1} << 20}) {
+        const auto& entry = coll::recommended_algorithm(coll, p, bytes);
+        coll::Config cfg;
+        cfg.p = p;
+        cfg.elem_count = std::max<i64>(p, bytes / 8);
+        cfg.elem_size = 8;
+        const sched::Schedule sch = entry.make(cfg);
+        std::vector<std::vector<u64>> inputs(static_cast<size_t>(p));
+        for (i64 r = 0; r < p; ++r) {
+          inputs[static_cast<size_t>(r)].resize(static_cast<size_t>(cfg.elem_count));
+          for (i64 e = 0; e < cfg.elem_count; ++e)
+            inputs[static_cast<size_t>(r)][static_cast<size_t>(e)] =
+                static_cast<u64>(r * 31 + e);
+        }
+        const auto res = runtime::execute<u64>(sch, runtime::ReduceOp::sum, inputs);
+        EXPECT_EQ(runtime::verify<u64>(sch, runtime::ReduceOp::sum, inputs, res), "")
+            << to_string(coll) << " p=" << p << " bytes=" << bytes << " -> "
+            << entry.name;
+      }
+    }
+  }
+}

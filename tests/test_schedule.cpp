@@ -1,0 +1,93 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/blocks.hpp"
+
+namespace bs = bine::sched;
+using bine::i64;
+
+TEST(Blocks, OffsetsAndSizesPartitionTheVector) {
+  for (const i64 n : {0, 1, 7, 16, 100, 1023}) {
+    for (const i64 B : {1, 2, 3, 8, 16, 40}) {
+      i64 total = 0;
+      for (i64 b = 0; b < B; ++b) {
+        EXPECT_EQ(bs::block_offset(b, n, B) + bs::block_elems(b, n, B),
+                  bs::block_offset(b + 1, n, B));
+        total += bs::block_elems(b, n, B);
+        EXPECT_GE(bs::block_elems(b, n, B), n / B);
+        EXPECT_LE(bs::block_elems(b, n, B), n / B + 1);
+      }
+      EXPECT_EQ(total, n);
+      EXPECT_EQ(bs::block_offset(0, n, B), 0);
+      EXPECT_EQ(bs::block_offset(B, n, B), n);
+    }
+  }
+}
+
+TEST(Blocks, BlockSetExpandAndCount) {
+  bs::BlockSet set = bs::BlockSet::run(6, 4);  // wraps 6,7,0,1 in B=8
+  EXPECT_EQ(set.block_count(), 4);
+  EXPECT_EQ(set.expand(8), (std::vector<i64>{6, 7, 0, 1}));
+  EXPECT_EQ(set.memory_segments(8), 2);  // wrapped run = two memory segments
+  EXPECT_EQ(bs::BlockSet::run(2, 3).memory_segments(8), 1);
+  EXPECT_EQ(bs::BlockSet::all(8).memory_segments(8), 1);
+}
+
+TEST(Blocks, ElemCountMatchesExpandedSum) {
+  for (const i64 n : {13, 40, 111}) {
+    const i64 B = 8;
+    for (i64 start = 0; start < B; ++start)
+      for (i64 count = 0; count <= B; ++count) {
+        const bs::BlockSet set = bs::BlockSet::run(start, count);
+        i64 manual = 0;
+        for (const i64 b : set.expand(B)) manual += bs::block_elems(b, n, B);
+        EXPECT_EQ(set.elem_count(n, B), manual) << "n=" << n << " run " << start << "+"
+                                                << count;
+      }
+  }
+}
+
+TEST(Blocks, FromIdsCoalescesAndWraps) {
+  const bs::BlockSet a = bs::blockset_from_ids({3, 1, 2}, 8);
+  ASSERT_EQ(a.ranges.size(), 1u);
+  EXPECT_EQ(a.ranges[0].begin, 1);
+  EXPECT_EQ(a.ranges[0].count, 3);
+
+  const bs::BlockSet b = bs::blockset_from_ids({7, 0, 3}, 8);
+  // 7 and 0 glue circularly; 3 stays apart.
+  EXPECT_EQ(b.block_count(), 3);
+  EXPECT_EQ(b.memory_segments(8), 3);  // {3} + wrapped {7,0} counted as 2
+
+  const bs::BlockSet c = bs::blockset_from_ids({0, 1, 2, 3, 4, 5, 6, 7}, 8);
+  ASSERT_EQ(c.ranges.size(), 1u);
+  EXPECT_EQ(c.ranges[0].count, 8);
+}
+
+TEST(Schedule, ValidateCatchesByteMismatch) {
+  bs::Schedule s;
+  s.coll = bs::Collective::bcast;
+  s.p = 2;
+  s.nblocks = 2;
+  s.elem_count = 8;
+  s.elem_size = 4;
+  s.steps.assign(2, {});
+  s.add_exchange(0, 0, 1, bs::BlockSet::all(2), false);
+  EXPECT_EQ(s.validate(), "");
+  s.steps[1][0].ops[0].bytes += 1;
+  EXPECT_NE(s.validate(), "");
+}
+
+TEST(Schedule, TotalWireBytes) {
+  bs::Schedule s;
+  s.coll = bs::Collective::bcast;
+  s.p = 4;
+  s.nblocks = 4;
+  s.elem_count = 16;  // 4 elems per block
+  s.elem_size = 4;
+  s.steps.assign(4, {});
+  s.add_exchange(0, 0, 1, bs::BlockSet::all(4), false);   // 64 bytes
+  s.add_exchange(1, 0, 2, bs::BlockSet::single(2), false);  // 16 bytes
+  s.normalize_steps();
+  EXPECT_EQ(s.total_wire_bytes(), 64 + 16);
+}

@@ -1,0 +1,271 @@
+#include "core/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "core/distance_theory.hpp"
+
+namespace bc = bine::core;
+using bc::TreeVariant;
+using bine::i64;
+using bine::Rank;
+
+// --- Paper worked examples ---------------------------------------------------
+
+TEST(BineDhTree, Rank8JoinsAtStep1For16Ranks) {
+  // Fig. 4 A: rank2nb(8) = 1000, u = 3, i = s - u = 4 - 3 = 1.
+  EXPECT_EQ(bc::join_step(TreeVariant::bine_dh, 8, 16), 1);
+}
+
+TEST(BineDhTree, Rank8SendsToRank7AtStep2For16Ranks) {
+  // Fig. 4 B: at step i = 2, rank 8 (1000) sends to rank 7 (1011).
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dh, 8, 2, 16), 7);
+}
+
+TEST(BineDhTree, RootPathToRank4Via3) {
+  // Sec. 2.3.2: rank 4 receives via 0 -> 3 -> 4 (0000 ^ 0111 ^ 0011).
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dh, 0, 0, 8), 3);
+  EXPECT_EQ(bc::join_step(TreeVariant::bine_dh, 3, 8), 0);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dh, 3, 1, 8), 4);
+  EXPECT_EQ(bc::join_step(TreeVariant::bine_dh, 4, 8), 1);
+}
+
+TEST(BineDhTree, EightRankEdgesMatchHandDerivation) {
+  // p=8 edges by step: s0: 0->3; s1: 0->7, 3->4; s2: 0->1, 3->2, 7->6, 4->5.
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dh, 0, 1, 8), 7);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dh, 0, 2, 8), 1);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dh, 3, 2, 8), 2);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dh, 7, 2, 8), 6);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dh, 4, 2, 8), 5);
+}
+
+TEST(BineDdTree, PaperSec322Example) {
+  // Rank 2 receives at step 1 (nu(2) = 011); at step 2 sends to rank 5
+  // (nu = 011 ^ 100 = 111).
+  EXPECT_EQ(bc::join_step(TreeVariant::bine_dd, 2, 8), 1);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dd, 2, 2, 8), 5);
+}
+
+TEST(BineDdTree, RootChildrenAre1_7_3For8Ranks) {
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dd, 0, 0, 8), 1);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dd, 0, 1, 8), 7);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::bine_dd, 0, 2, 8), 3);
+}
+
+TEST(BinomialTrees, Fig1FirstSends) {
+  // Distance-doubling (Open MPI): rank 0 sends to 1, then 2, then 4.
+  EXPECT_EQ(bc::tree_partner(TreeVariant::binomial_dd, 0, 0, 8), 1);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::binomial_dd, 0, 1, 8), 2);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::binomial_dd, 0, 2, 8), 4);
+  // Distance-halving (MPICH): rank 0 sends to 4, then 2, then 1.
+  EXPECT_EQ(bc::tree_partner(TreeVariant::binomial_dh, 0, 0, 8), 4);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::binomial_dh, 0, 1, 8), 2);
+  EXPECT_EQ(bc::tree_partner(TreeVariant::binomial_dh, 0, 2, 8), 1);
+}
+
+TEST(BinomialTrees, RootToRootDistances) {
+  // Fig. 2 D/E: binomial order-2 roots at distance 2; order-3 roots at 4.
+  EXPECT_EQ(bc::step_distance(TreeVariant::binomial_dh, 0, 0, 4), 2);
+  EXPECT_EQ(bc::step_distance(TreeVariant::binomial_dh, 0, 0, 8), 4);
+  // Fig. 3: Bine order-2 roots at modulo distance 1; order-3 roots at 3.
+  EXPECT_EQ(bc::step_distance(TreeVariant::bine_dh, 0, 0, 4), 1);
+  EXPECT_EQ(bc::step_distance(TreeVariant::bine_dh, 0, 0, 8), 3);
+}
+
+// --- Structural properties over all variants and sizes -----------------------
+
+struct TreeCase {
+  TreeVariant variant;
+  i64 p;
+  Rank root;
+};
+
+class TreeStructure : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(TreeStructure, IsSpanningWithUniqueJoinSteps) {
+  const auto [variant, p, root] = GetParam();
+  const bc::Tree t = bc::build_tree(variant, p, root);
+  const int s = bine::log2_exact(p);
+
+  EXPECT_EQ(t.parent[static_cast<size_t>(root)], -1);
+  EXPECT_EQ(t.joined_at[static_cast<size_t>(root)], -1);
+
+  // Every non-root rank has a parent and a valid join step; following parents
+  // reaches the root with strictly decreasing join steps.
+  for (Rank r = 0; r < p; ++r) {
+    if (r == root) continue;
+    const int joined = t.joined_at[static_cast<size_t>(r)];
+    ASSERT_GE(joined, 0) << "rank " << r;
+    ASSERT_LT(joined, s);
+    Rank cur = r;
+    int guard = 0;
+    while (cur != root) {
+      const Rank par = t.parent[static_cast<size_t>(cur)];
+      ASSERT_GE(par, 0);
+      if (par != root) {
+        EXPECT_LT(t.joined_at[static_cast<size_t>(par)], t.joined_at[static_cast<size_t>(cur)]);
+      }
+      cur = par;
+      ASSERT_LE(++guard, s) << "path longer than tree depth";
+    }
+  }
+
+  // Exactly 2^i ranks hold the data after step i (doubling property).
+  for (int step = 0; step < s; ++step) {
+    const i64 holders = std::count_if(t.joined_at.begin(), t.joined_at.end(),
+                                      [&](int j) { return j <= step; });
+    EXPECT_EQ(holders, i64{1} << (step + 1)) << "step " << step;
+  }
+}
+
+TEST_P(TreeStructure, PartnerIsInvolution) {
+  const auto [variant, p, root] = GetParam();
+  (void)root;
+  const int s = bine::log2_exact(p);
+  for (Rank r = 0; r < p; ++r)
+    for (int step = 0; step < s; ++step) {
+      const Rank q = bc::tree_partner(variant, r, step, p);
+      EXPECT_EQ(bc::tree_partner(variant, q, step, p), r)
+          << to_string(variant) << " r=" << r << " step=" << step;
+    }
+}
+
+TEST_P(TreeStructure, ChildrenJoinAtTheirStep) {
+  const auto [variant, p, root] = GetParam();
+  (void)root;
+  const int s = bine::log2_exact(p);
+  for (Rank r = 0; r < p; ++r) {
+    const int joined = bc::join_step(variant, r, p);
+    for (int step = joined + 1; step < s; ++step) {
+      const Rank child = bc::tree_partner(variant, r, step, p);
+      EXPECT_EQ(bc::join_step(variant, child, p), step);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TreeStructure,
+    ::testing::Values(TreeCase{TreeVariant::binomial_dd, 2, 0},
+                      TreeCase{TreeVariant::binomial_dd, 16, 0},
+                      TreeCase{TreeVariant::binomial_dd, 64, 5},
+                      TreeCase{TreeVariant::binomial_dd, 256, 0},
+                      TreeCase{TreeVariant::binomial_dh, 2, 0},
+                      TreeCase{TreeVariant::binomial_dh, 16, 0},
+                      TreeCase{TreeVariant::binomial_dh, 64, 63},
+                      TreeCase{TreeVariant::binomial_dh, 256, 0},
+                      TreeCase{TreeVariant::bine_dh, 2, 0},
+                      TreeCase{TreeVariant::bine_dh, 8, 0},
+                      TreeCase{TreeVariant::bine_dh, 16, 0},
+                      TreeCase{TreeVariant::bine_dh, 64, 17},
+                      TreeCase{TreeVariant::bine_dh, 256, 0},
+                      TreeCase{TreeVariant::bine_dh, 1024, 0},
+                      TreeCase{TreeVariant::bine_dd, 2, 0},
+                      TreeCase{TreeVariant::bine_dd, 8, 0},
+                      TreeCase{TreeVariant::bine_dd, 16, 0},
+                      TreeCase{TreeVariant::bine_dd, 64, 40},
+                      TreeCase{TreeVariant::bine_dd, 256, 0},
+                      TreeCase{TreeVariant::bine_dd, 1024, 0}),
+    [](const ::testing::TestParamInfo<TreeCase>& ti) {
+      return std::string(to_string(ti.param.variant)) + "_p" +
+             std::to_string(ti.param.p) + "_root" + std::to_string(ti.param.root);
+    });
+
+// --- Subtree structure --------------------------------------------------------
+
+TEST(Subtrees, ContiguousVariantsMatchRecursiveMembership) {
+  // Note: binomial_dd subtrees are strided ({1,3,5,7} for rank 1 on p=8), so
+  // only the distance-halving variants have circular-interval subtrees.
+  for (const TreeVariant v : {TreeVariant::binomial_dh, TreeVariant::bine_dh}) {
+    for (const i64 p : {2, 4, 8, 16, 32, 64, 128}) {
+      const bc::Tree t = bc::build_tree(v, p, 0);
+      for (Rank r = 0; r < p; ++r) {
+        const bc::CircularInterval iv = bc::subtree_interval(v, r, p);
+        // Collect true membership by walking the materialized tree.
+        std::set<Rank> members;
+        std::vector<Rank> stack{r};
+        while (!stack.empty()) {
+          const Rank cur = stack.back();
+          stack.pop_back();
+          members.insert(cur);
+          for (const auto& [step, child] : t.children[static_cast<size_t>(cur)])
+            stack.push_back(child);
+        }
+        EXPECT_EQ(static_cast<i64>(members.size()), iv.length)
+            << to_string(v) << " p=" << p << " r=" << r;
+        for (const Rank m : members)
+          EXPECT_TRUE(iv.contains(m, p)) << to_string(v) << " p=" << p << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(Subtrees, DdSubtreeMatchesNuPredicate) {
+  for (const i64 p : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    for (Rank r = 0; r < p; ++r) {
+      const std::vector<Rank> members = bc::dd_subtree_members(r, p);
+      std::set<Rank> set(members.begin(), members.end());
+      EXPECT_EQ(set.size(), members.size()) << "duplicates in subtree";
+      for (Rank q = 0; q < p; ++q) {
+        EXPECT_EQ(set.count(q) == 1, bc::dd_subtree_contains(r, q, p))
+            << "p=" << p << " r=" << r << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(Subtrees, PaperSec323Example) {
+  // Rank 8 in a 16-node bine_dh tree joins at step 1; its subtree shares the
+  // two most significant negabinary bits (10xx): ranks with nb in
+  // {1000, 1001, 1010, 1011} = ranks 8, 9, 6, 7.
+  const bc::CircularInterval iv = bc::subtree_interval(TreeVariant::bine_dh, 8, 16);
+  EXPECT_EQ(iv.length, 4);
+  for (const Rank r : {6, 7, 8, 9}) EXPECT_TRUE(iv.contains(r, 16)) << r;
+}
+
+TEST(Subtrees, DdSubtreeOfRank1For8RanksIs1256) {
+  // Sec. 3.2.3: descendants of rank 1 are the ranks whose nu has LSB set:
+  // ranks 1 (001), 2 (011), 5 (111), 6 (101).
+  std::vector<Rank> members = bc::dd_subtree_members(1, 8);
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<Rank>{1, 2, 5, 6}));
+}
+
+// --- Distance theory (Sec. 2.4.1) ---------------------------------------------
+
+TEST(DistanceTheory, StepDistancesMatchClosedForms) {
+  for (const i64 p : {4, 8, 16, 32, 64, 128, 256, 1024}) {
+    const int s = bine::log2_exact(p);
+    for (int step = 0; step < s; ++step) {
+      EXPECT_EQ(bc::step_distance(TreeVariant::binomial_dh, 0, step, p),
+                bc::delta_binomial(step, s));
+      EXPECT_EQ(bc::step_distance(TreeVariant::bine_dh, 0, step, p),
+                bc::delta_bine(step, s));
+    }
+  }
+}
+
+TEST(DistanceTheory, RatioApproachesTwoThirds) {
+  // Eq. 2: delta_bine / delta_binomial -> 2/3. Because distances "differ by
+  // at most +-1 from the ideal halving" (footnote 3), the per-step ratio
+  // oscillates within [1/2, 1] and converges to 2/3 as the distance grows.
+  for (int s = 2; s <= 20; ++s)
+    for (int step = 0; step < s; ++step) {
+      const double ratio = bc::distance_ratio(step, s);
+      EXPECT_GE(ratio, 0.5) << "s=" << s << " step=" << step;
+      EXPECT_LE(ratio, 1.0) << "s=" << s << " step=" << step;
+    }
+  // Away from the last (distance-1) steps the ratio is ~2/3.
+  EXPECT_NEAR(bc::distance_ratio(0, 20), 2.0 / 3.0, 1e-5);
+  EXPECT_NEAR(bc::distance_ratio(5, 20), 2.0 / 3.0, 1e-3);
+  for (int s = 8; s <= 20; ++s)
+    EXPECT_NEAR(bc::distance_ratio(0, s), 2.0 / 3.0, 0.01) << "s=" << s;
+}
+
+TEST(DistanceTheory, BineNeverFartherThanBinomial) {
+  for (int s = 2; s <= 24; ++s)
+    for (int step = 0; step < s; ++step)
+      EXPECT_LE(bc::delta_bine(step, s), bc::delta_binomial(step, s));
+}
