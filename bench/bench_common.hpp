@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -11,9 +12,15 @@
 /// Shared drivers for the table/figure benches. Each bench binary prints the
 /// same rows/series the paper reports (win fractions, heatmap cells, box-plot
 /// quartiles) for one system profile.
+///
+/// All three drivers follow the same shape: build the flat list of sweep
+/// cells, fan it out through Runner::sweep (worker count from BINE_THREADS),
+/// then aggregate and print strictly in cell order -- so the output is
+/// byte-identical regardless of thread count.
 namespace bine::bench {
 
 using harness::Runner;
+using harness::SweepQuery;
 
 /// "Comparison with Binomial Trees" table (paper Tables 3, 4, 5): for every
 /// collective, the fraction of (nodes, size) configurations where the best
@@ -22,23 +29,37 @@ using harness::Runner;
 inline void run_binomial_table(Runner& runner, const std::vector<i64>& node_counts,
                                const std::vector<i64>& sizes,
                                const std::vector<i64>& large_counts_allreduce_ag = {}) {
-  harness::WinLoss::print_header("Comparison with binomial trees on " +
-                                 runner.profile().name + " (simulated)");
+  std::vector<SweepQuery> queries;
   for (const sched::Collective coll : coll::all_collectives()) {
-    harness::WinLoss wl;
     std::vector<i64> counts = node_counts;
     // Mirror the paper's Leonardo methodology: node counts beyond the user
     // cap were only measured for allreduce and allgather (Sec. 5.2.1).
     if (coll == sched::Collective::allreduce || coll == sched::Collective::allgather)
       counts.insert(counts.end(), large_counts_allreduce_ag.begin(),
                     large_counts_allreduce_ag.end());
-    for (const i64 nodes : counts) {
+    for (const i64 nodes : counts)
       for (const i64 size : sizes) {
-        const auto bine = runner.best_bine(coll, nodes, size, /*contiguous_only=*/true);
-        const auto binom = runner.best_binomial(coll, nodes, size);
-        wl.add(bine.second.seconds, binom.second.seconds, bine.second.global_bytes,
-               binom.second.global_bytes);
+        queries.push_back({coll, nodes, size, SweepQuery::Kind::bine,
+                           /*contiguous_only=*/true});
+        queries.push_back({coll, nodes, size, SweepQuery::Kind::binomial, false});
       }
+  }
+  const auto results = runner.sweep(queries);
+
+  harness::WinLoss::print_header("Comparison with binomial trees on " +
+                                 runner.profile().name + " (simulated)");
+  size_t i = 0;
+  for (const sched::Collective coll : coll::all_collectives()) {
+    harness::WinLoss wl;
+    while (i < queries.size() && queries[i].coll == coll) {
+      assert(queries[i].kind == SweepQuery::Kind::bine &&
+             queries[i + 1].kind == SweepQuery::Kind::binomial &&
+             queries[i + 1].coll == coll);
+      const auto& bine = results[i];
+      const auto& binom = results[i + 1];
+      wl.add(bine.second.seconds, binom.second.seconds, bine.second.global_bytes,
+             binom.second.global_bytes);
+      i += 2;
     }
     std::printf("%s\n", wl.row(to_string(coll)).c_str());
   }
@@ -51,14 +72,23 @@ inline void run_sota_heatmap(Runner& runner, sched::Collective coll,
   std::vector<std::string> cols, rows;
   for (const i64 n : node_counts) cols.push_back(std::to_string(n));
   for (const i64 s : sizes) rows.push_back(harness::size_label(s));
+
+  std::vector<SweepQuery> queries;
+  for (const i64 size : sizes)
+    for (const i64 nodes : node_counts) {
+      queries.push_back({coll, nodes, size, SweepQuery::Kind::bine,
+                         /*contiguous_only=*/false});
+      queries.push_back({coll, nodes, size, SweepQuery::Kind::sota, false});
+    }
+  const auto results = runner.sweep(queries);
+
   std::vector<std::vector<harness::HeatCell>> cells(
       sizes.size(), std::vector<harness::HeatCell>(node_counts.size()));
   for (size_t si = 0; si < sizes.size(); ++si) {
     for (size_t ni = 0; ni < node_counts.size(); ++ni) {
-      const auto bine =
-          runner.best_bine(coll, node_counts[ni], sizes[si], /*contiguous_only=*/false);
-      const auto sota =
-          runner.best_of(coll, runner.sota_names(coll), node_counts[ni], sizes[si]);
+      const size_t q = 2 * (si * node_counts.size() + ni);
+      const auto& bine = results[q];
+      const auto& sota = results[q + 1];
       harness::HeatCell& cell = cells[si][ni];
       cell.bine_best = bine.second.seconds < sota.second.seconds;
       cell.best_name = sota.first;
@@ -75,21 +105,31 @@ inline void run_sota_heatmap(Runner& runner, sched::Collective coll,
 inline void run_sota_boxplots(Runner& runner, const std::vector<i64>& node_counts,
                               const std::vector<i64>& sizes,
                               const std::vector<sched::Collective>& colls) {
+  std::vector<SweepQuery> queries;
+  for (const sched::Collective coll : colls)
+    for (const i64 nodes : node_counts)
+      for (const i64 size : sizes) {
+        queries.push_back({coll, nodes, size, SweepQuery::Kind::bine,
+                           /*contiguous_only=*/false});
+        queries.push_back({coll, nodes, size, SweepQuery::Kind::sota, false});
+      }
+  const auto results = runner.sweep(queries);
+
   harness::BoxStats::print_header("Bine improvement over best non-Bine algorithm on " +
                                       runner.profile().name +
                                       " (configurations where Bine wins)",
                                   "gain");
+  size_t i = 0;
   for (const sched::Collective coll : colls) {
     std::vector<double> gains;
     i64 total = 0;
-    for (const i64 nodes : node_counts)
-      for (const i64 size : sizes) {
-        const auto bine = runner.best_bine(coll, nodes, size, false);
-        const auto sota = runner.best_of(coll, runner.sota_names(coll), nodes, size);
-        ++total;
-        if (bine.second.seconds < sota.second.seconds)
-          gains.push_back(100.0 * (sota.second.seconds / bine.second.seconds - 1.0));
-      }
+    for (size_t cell = 0; cell < node_counts.size() * sizes.size(); ++cell, i += 2) {
+      const auto& bine = results[i];
+      const auto& sota = results[i + 1];
+      ++total;
+      if (bine.second.seconds < sota.second.seconds)
+        gains.push_back(100.0 * (sota.second.seconds / bine.second.seconds - 1.0));
+    }
     const i64 nwins = static_cast<i64>(gains.size());
     const harness::BoxStats stats = harness::BoxStats::of(std::move(gains));
     char label[64];

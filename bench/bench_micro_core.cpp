@@ -85,10 +85,28 @@ void BM_SimulateAllreduce(benchmark::State& state) {
   const auto profile = net::lumi_profile();
   const auto topo = profile.build(cfg.p);
   const auto pl = net::Placement::identity(cfg.p);
+  // Route cache and lowering are hoisted, as in the harness hot loop; this
+  // times the compiled engine itself.
+  const net::RouteCache rc(*topo, pl);
+  const auto lowered = sched::CompiledSchedule::lower(sch);
   for (auto _ : state)
-    benchmark::DoNotOptimize(net::simulate(sch, *topo, pl, profile.cost));
+    benchmark::DoNotOptimize(net::simulate(lowered, rc, profile.cost));
 }
 BENCHMARK(BM_SimulateAllreduce)->Arg(64)->Arg(512);
+
+void BM_LowerAllreduce(benchmark::State& state) {
+  coll::Config cfg;
+  cfg.p = state.range(0);
+  cfg.elem_count = 1 << 16;
+  const auto sch =
+      coll::find_algorithm(sched::Collective::allreduce, "bine_send").make(cfg);
+  sched::CompiledSchedule scratch;
+  for (auto _ : state) {
+    sched::CompiledSchedule::lower_into(sch, scratch);
+    benchmark::DoNotOptimize(scratch.num_ops());
+  }
+}
+BENCHMARK(BM_LowerAllreduce)->Arg(64)->Arg(512);
 
 void BM_ExecuteAllreduce(benchmark::State& state) {
   coll::Config cfg;

@@ -107,7 +107,7 @@ Schedule alltoall_bine(const Config& cfg) {
   }
   // Every parcel must have exhausted its route at its destination.
   for (Rank r = 0; r < p; ++r)
-    for (const Parcel& par : held[static_cast<size_t>(r)])
+    for ([[maybe_unused]] const Parcel& par : held[static_cast<size_t>(r)])
       assert(par.route == 0 && par.id % p == r && "bine alltoall routing failed");
   sch.normalize_steps();
   return sch;

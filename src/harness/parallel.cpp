@@ -1,0 +1,17 @@
+#include "harness/parallel.hpp"
+
+#include <cstdlib>
+
+namespace bine::harness {
+
+i64 default_thread_count() {
+  if (const char* env = std::getenv("BINE_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<i64>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<i64>(hw) : 1;
+}
+
+}  // namespace bine::harness

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// Deterministic fan-out for the evaluation sweeps.
+///
+/// Sweep cells -- (algorithm, nodes, size) simulations -- are pure functions
+/// of their inputs, so they can run on any thread in any order as long as
+/// each result lands in its own slot. `parallel_for` hands indices out via an
+/// atomic counter and the callers write `results[i]`, which makes the final
+/// result vector (and anything printed from it afterwards) byte-identical
+/// regardless of thread count.
+namespace bine::harness {
+
+/// Worker count used when a sweep passes `threads <= 0`: the BINE_THREADS
+/// environment variable when set to a positive integer, else
+/// hardware_concurrency, never less than 1.
+[[nodiscard]] i64 default_thread_count();
+
+/// Run fn(i) for every i in [0, n) across at most `threads` workers
+/// (`threads <= 0` = default_thread_count()). Each index runs exactly once;
+/// ordering across indices is unspecified. The first exception thrown by any
+/// fn(i) is rethrown on the calling thread after all workers join.
+template <class Fn>
+void parallel_for(i64 n, Fn&& fn, i64 threads = 0) {
+  if (n <= 0) return;
+  if (threads <= 0) threads = default_thread_count();
+  threads = std::min<i64>(threads, n);
+  if (threads <= 1) {
+    for (i64 i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<i64> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::atomic_flag error_claimed = ATOMIC_FLAG_INIT;
+
+  auto worker = [&] {
+    for (;;) {
+      const i64 i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error_claimed.test_and_set()) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  try {
+    for (i64 w = 0; w < threads; ++w) pool.emplace_back(worker);
+  } catch (...) {
+    // Thread spawn failed (e.g. EAGAIN near the process limit): stop handing
+    // out work, join what started, and surface the error instead of letting
+    // joinable threads unwind into std::terminate.
+    failed.store(true, std::memory_order_relaxed);
+    for (std::thread& th : pool) th.join();
+    throw;
+  }
+  for (std::thread& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace bine::harness

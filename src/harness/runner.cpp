@@ -3,6 +3,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "harness/parallel.hpp"
+#include "sched/compiled.hpp"
+
 namespace bine::harness {
 
 using sched::Collective;
@@ -28,6 +31,7 @@ Runner::Runner(net::SystemProfile profile, bool spread_placement, u64 seed)
     : profile_(std::move(profile)), spread_placement_(spread_placement), seed_(seed) {}
 
 Runner::Sized& Runner::sized_for(i64 nodes) {
+  const std::scoped_lock lock(cache_mutex_);
   auto it = cache_.find(nodes);
   if (it != cache_.end()) return it->second;
 
@@ -47,6 +51,7 @@ Runner::Sized& Runner::sized_for(i64 nodes) {
   } else {
     sized.placement = net::Placement::identity(nodes);
   }
+  sized.routes = std::make_unique<net::RouteCache>(*sized.topo, sized.placement);
   return cache_.emplace(nodes, std::move(sized)).first->second;
 }
 
@@ -59,8 +64,11 @@ RunResult Runner::run([[maybe_unused]] Collective coll, const coll::AlgorithmEnt
   cfg.torus_dims = torus_dims;
   const sched::Schedule sch = algo.make(cfg);
   Sized& sized = sized_for(nodes);
-  const net::SimResult sim =
-      net::simulate(sch, *sized.topo, sized.placement, profile_.cost);
+  // Per-worker scratch: lowering into resident arrays avoids re-mmapping the
+  // SoA storage for every cell of a sweep.
+  static thread_local sched::CompiledSchedule lowered;
+  sched::CompiledSchedule::lower_into(sch, lowered);
+  const net::SimResult sim = net::simulate(lowered, *sized.routes, profile_.cost);
   RunResult out;
   out.seconds = sim.seconds;
   out.global_bytes = sim.traffic.global_bytes;
@@ -116,6 +124,35 @@ std::pair<std::string, RunResult> Runner::best_binomial(Collective coll, i64 nod
       return best_of(coll, {"bruck"}, nodes, size_bytes);
   }
   throw std::logic_error("unknown collective");
+}
+
+std::vector<std::pair<std::string, RunResult>> Runner::sweep(
+    const std::vector<SweepQuery>& queries, i64 threads) {
+  // Warm the per-node machine caches serially so workers only compete for
+  // cells, not for building the same topology/route table under the lock.
+  for (const SweepQuery& q : queries) (void)sized_for(q.nodes);
+
+  std::vector<std::pair<std::string, RunResult>> results(queries.size());
+  parallel_for(
+      static_cast<i64>(queries.size()),
+      [&](i64 i) {
+        const SweepQuery& q = queries[static_cast<size_t>(i)];
+        switch (q.kind) {
+          case SweepQuery::Kind::bine:
+            results[static_cast<size_t>(i)] =
+                best_bine(q.coll, q.nodes, q.size_bytes, q.contiguous_only);
+            break;
+          case SweepQuery::Kind::binomial:
+            results[static_cast<size_t>(i)] = best_binomial(q.coll, q.nodes, q.size_bytes);
+            break;
+          case SweepQuery::Kind::sota:
+            results[static_cast<size_t>(i)] =
+                best_of(q.coll, sota_names(q.coll), q.nodes, q.size_bytes);
+            break;
+        }
+      },
+      threads);
+  return results;
 }
 
 std::vector<std::string> Runner::sota_names(Collective coll) const {

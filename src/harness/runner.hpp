@@ -2,17 +2,23 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "alloc/allocation.hpp"
 #include "coll/registry.hpp"
 #include "net/profiles.hpp"
+#include "net/route_cache.hpp"
 
 /// Evaluation driver (the stand-in for the paper's PICO framework): runs a
 /// (system, collective, algorithm, nodes, vector size) combination through
-/// the simulator and caches topologies/placements across the sweep.
+/// the simulator, caching topologies, placements, and compiled route tables
+/// across the sweep. Each cell is a pure function of its inputs, so `sweep`
+/// fans independent cells out over a thread pool with deterministic,
+/// index-addressed results.
 namespace bine::harness {
 
 struct RunResult {
@@ -28,6 +34,21 @@ struct RunResult {
 
 /// Human-readable size ("32 B", "2 KiB", "512 MiB").
 [[nodiscard]] std::string size_label(i64 bytes);
+
+/// One cell of a best-variant sweep: which family to minimize over for a
+/// (collective, nodes, size) configuration.
+struct SweepQuery {
+  enum class Kind {
+    bine,      ///< best registered Bine variant (honours contiguous_only)
+    binomial,  ///< the paper's binomial-family baseline
+    sota,      ///< best non-Bine algorithm
+  };
+  sched::Collective coll{};
+  i64 nodes = 0;
+  i64 size_bytes = 0;
+  Kind kind = Kind::bine;
+  bool contiguous_only = false;  ///< only meaningful for Kind::bine
+};
 
 class Runner {
  public:
@@ -68,16 +89,28 @@ class Runner {
   /// All non-Bine algorithms registered for the collective.
   [[nodiscard]] std::vector<std::string> sota_names(sched::Collective coll) const;
 
+  /// Evaluate every query, fanning the independent cells out over at most
+  /// `threads` workers (<= 0 = harness::default_thread_count()). Results are
+  /// index-addressed (results[i] answers queries[i]) and every cell is a
+  /// pure function of its query, so the returned vector -- and anything
+  /// printed from it in order -- is byte-identical for any thread count.
+  [[nodiscard]] std::vector<std::pair<std::string, RunResult>> sweep(
+      const std::vector<SweepQuery>& queries, i64 threads = 0);
+
  private:
   struct Sized {
     std::unique_ptr<net::Topology> topo;
     net::Placement placement;
+    std::unique_ptr<net::RouteCache> routes;  ///< compiled per (topo, placement)
   };
+  /// Thread-safe: builds (or returns) the machine instance for `nodes`. The
+  /// returned reference is stable (map nodes never move).
   Sized& sized_for(i64 nodes);
 
   net::SystemProfile profile_;
   bool spread_placement_;
   u64 seed_;
+  std::mutex cache_mutex_;
   std::map<i64, Sized> cache_;
 };
 

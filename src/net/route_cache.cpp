@@ -1,0 +1,43 @@
+#include "net/route_cache.hpp"
+
+namespace bine::net {
+
+RouteCache::RouteCache(const Topology& topo, const Placement& pl)
+    : p_(static_cast<i64>(pl.node_of_rank.size())) {
+  const auto& links = topo.links();
+  inv_bandwidth_.reserve(links.size());
+  link_class_.reserve(links.size());
+  for (const Link& l : links) {
+    inv_bandwidth_.push_back(1.0 / l.bandwidth);
+    link_class_.push_back(l.cls);
+  }
+
+  const size_t pairs = static_cast<size_t>(p_) * static_cast<size_t>(p_);
+  offsets_.reserve(pairs + 1);
+  offsets_.push_back(0);
+  hops_.reserve(pairs);
+
+  // Single pass over the virtual router, appending each pair's path into the
+  // CSR arrays. The scratch vector is reused so route() never reallocates
+  // after warm-up.
+  std::vector<i64> path;
+  for (Rank s = 0; s < p_; ++s)
+    for (Rank d = 0; d < p_; ++d) {
+      path.clear();
+      topo.route(pl.node_of_rank[static_cast<size_t>(s)],
+                 pl.node_of_rank[static_cast<size_t>(d)], path);
+      ClassHops h;
+      for (const i64 link : path) {
+        switch (link_class_[static_cast<size_t>(link)]) {
+          case LinkClass::local: ++h.local; break;
+          case LinkClass::global: ++h.global; break;
+          case LinkClass::intra_node: ++h.intra_node; break;
+        }
+      }
+      links_.insert(links_.end(), path.begin(), path.end());
+      offsets_.push_back(links_.size());
+      hops_.push_back(h);
+    }
+}
+
+}  // namespace bine::net

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/topology.hpp"
+
+/// Compiled routing tables: the hot-path replacement for per-message virtual
+/// `Topology::route()` calls.
+///
+/// A `RouteCache` is built once per (Topology, Placement) and reused across
+/// every schedule simulated on that pair -- exactly the access pattern of the
+/// evaluation sweeps, where one machine instance hosts hundreds of
+/// (algorithm, vector size) schedule simulations. The virtual `route()`
+/// method remains the single source of truth for minimal paths; the cache
+/// only materializes its answers:
+///
+///   * a CSR-packed table of link paths for every ordered rank pair, keyed by
+///     the (src node, dst node) the placement assigns to the pair;
+///   * per-pair link-class hop counts (local/global/intra-node), which make
+///     exact traffic accounting O(1) per message instead of O(path);
+///   * flat per-link `LinkClass` and inverse-bandwidth arrays, so the
+///     simulator's inner loop multiplies instead of dividing and never
+///     touches the `Link` structs through the topology.
+namespace bine::net {
+
+/// Rank -> node placement. Identity (one rank per node, block order) unless
+/// an allocation says otherwise.
+struct Placement {
+  std::vector<i64> node_of_rank;
+  [[nodiscard]] static Placement identity(i64 p) {
+    Placement pl;
+    pl.node_of_rank.resize(static_cast<size_t>(p));
+    for (i64 r = 0; r < p; ++r) pl.node_of_rank[static_cast<size_t>(r)] = r;
+    return pl;
+  }
+};
+
+class RouteCache {
+ public:
+  /// Number of links of each class on one rank pair's path.
+  struct ClassHops {
+    std::int32_t local = 0;
+    std::int32_t global = 0;
+    std::int32_t intra_node = 0;
+  };
+
+  RouteCache(const Topology& topo, const Placement& pl);
+
+  [[nodiscard]] i64 num_ranks() const noexcept { return p_; }
+  [[nodiscard]] i64 num_links() const noexcept {
+    return static_cast<i64>(inv_bandwidth_.size());
+  }
+
+  /// Link ids of the minimal route between the nodes hosting `src` and `dst`
+  /// (empty when they share a node).
+  [[nodiscard]] std::span<const i64> path(Rank src, Rank dst) const noexcept {
+    const size_t k = pair(src, dst);
+    return {links_.data() + offsets_[k], links_.data() + offsets_[k + 1]};
+  }
+
+  [[nodiscard]] const ClassHops& hops(Rank src, Rank dst) const noexcept {
+    return hops_[pair(src, dst)];
+  }
+
+  [[nodiscard]] bool crosses_global(Rank src, Rank dst) const noexcept {
+    return hops_[pair(src, dst)].global > 0;
+  }
+
+  /// 1 / link bandwidth, indexed by link id (multiplying beats dividing in
+  /// the per-step link-time reduction).
+  [[nodiscard]] std::span<const double> inv_bandwidth() const noexcept {
+    return inv_bandwidth_;
+  }
+
+  [[nodiscard]] std::span<const LinkClass> link_class() const noexcept {
+    return link_class_;
+  }
+
+ private:
+  [[nodiscard]] size_t pair(Rank src, Rank dst) const noexcept {
+    assert(src >= 0 && src < p_ && dst >= 0 && dst < p_);
+    return static_cast<size_t>(src) * static_cast<size_t>(p_) +
+           static_cast<size_t>(dst);
+  }
+
+  i64 p_ = 0;
+  std::vector<size_t> offsets_;  ///< CSR offsets, size p*p + 1
+  std::vector<i64> links_;       ///< concatenated per-pair link ids
+  std::vector<ClassHops> hops_;  ///< per ordered rank pair
+  std::vector<double> inv_bandwidth_;  ///< per link id
+  std::vector<LinkClass> link_class_;  ///< per link id
+};
+
+}  // namespace bine::net

@@ -1,12 +1,15 @@
 #include "net/simulate.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
 
 namespace bine::net {
 
-TrafficStats measure_traffic(const sched::Schedule& sch, const Topology& topo,
-                             const Placement& pl) {
+// --- reference engine (naive oracle) -------------------------------------------
+
+TrafficStats measure_traffic_reference(const sched::Schedule& sch, const Topology& topo,
+                                       const Placement& pl) {
   TrafficStats stats;
   std::vector<i64> path;
   for (Rank r = 0; r < sch.p; ++r) {
@@ -30,34 +33,24 @@ TrafficStats measure_traffic(const sched::Schedule& sch, const Topology& topo,
   return stats;
 }
 
-i64 inter_group_bytes(const sched::Schedule& sch, std::span<const i64> group_of_rank) {
-  i64 total = 0;
-  for (Rank r = 0; r < sch.p; ++r)
-    for (const auto& step : sch.steps[static_cast<size_t>(r)])
-      for (const sched::Op& op : step.ops)
-        if (op.kind == sched::OpKind::send &&
-            group_of_rank[static_cast<size_t>(r)] !=
-                group_of_rank[static_cast<size_t>(op.peer)])
-          total += op.bytes;
-  return total;
-}
-
-SimResult simulate(const sched::Schedule& sch, const Topology& topo, const Placement& pl,
-                   const CostParams& cp) {
+SimResult simulate_reference(const sched::Schedule& sch, const Topology& topo,
+                             const Placement& pl, const CostParams& cp) {
   SimResult result;
-  result.traffic = measure_traffic(sch, topo, pl);
+  result.traffic = measure_traffic_reference(sch, topo, pl);
   result.steps = sch.num_steps();
 
   std::vector<i64> path;
   // Reused per step: link id -> accumulated bytes (sparse).
   std::unordered_map<i64, i64> link_bytes;
 
-  for (size_t t = 0; t < sch.num_steps(); ++t) {
+  for (size_t t = 0; t < result.steps; ++t) {
     link_bytes.clear();
     double max_rank_overhead = 0;
     for (Rank r = 0; r < sch.p; ++r) {
+      const auto& rank_steps = sch.steps[static_cast<size_t>(r)];
+      if (t >= rank_steps.size()) continue;  // ragged rank: idle this step
       double overhead = 0;
-      for (const sched::Op& op : sch.steps[static_cast<size_t>(r)][t].ops) {
+      for (const sched::Op& op : rank_steps[t].ops) {
         switch (op.kind) {
           case sched::OpKind::send: {
             path.clear();
@@ -96,6 +89,150 @@ SimResult simulate(const sched::Schedule& sch, const Topology& topo, const Place
     result.seconds += max_link_time + max_rank_overhead;
   }
   return result;
+}
+
+// --- compiled engine -----------------------------------------------------------
+
+namespace {
+
+/// Exact per-class accounting of one send via the cache's hop counts.
+inline void accumulate_send(TrafficStats& stats, const RouteCache::ClassHops& h, i64 b) {
+  ++stats.messages;
+  stats.local_bytes += static_cast<i64>(h.local) * b;
+  stats.global_bytes += static_cast<i64>(h.global) * b;
+  stats.intra_node_bytes += static_cast<i64>(h.intra_node) * b;
+}
+
+}  // namespace
+
+TrafficStats measure_traffic(const sched::CompiledSchedule& cs, const RouteCache& rc) {
+  assert(cs.p == rc.num_ranks());
+  TrafficStats stats;
+  for (size_t i = 0; i < cs.num_ops(); ++i) {
+    if (cs.kind[i] != sched::OpKind::send) continue;
+    accumulate_send(stats, rc.hops(cs.rank[i], cs.peer[i]), cs.bytes[i]);
+  }
+  return stats;
+}
+
+SimResult simulate(const sched::CompiledSchedule& cs, const RouteCache& rc,
+                   const CostParams& cp) {
+  assert(cs.p == rc.num_ranks());
+  SimResult result;
+  result.steps = cs.steps;
+
+  // Dense per-link byte accumulators. On small link arrays (torus-sized) the
+  // per-step reduction scans and clears every link -- no bookkeeping in the
+  // send loop; on large fabrics (a dragonfly has thousands of links, a step
+  // touches few) only the touched links are visited and reset. Both orders
+  // produce the same max. The scratch persists per thread: every step
+  // restores the accumulators to zero, so reuse across calls never leaks
+  // bytes between simulations.
+  const size_t num_links = static_cast<size_t>(rc.num_links());
+  const bool dense_links = num_links <= 1024;
+  static thread_local std::vector<i64> link_bytes;
+  static thread_local std::vector<i64> touched;
+  if (link_bytes.size() < num_links) link_bytes.resize(num_links, 0);
+  touched.clear();
+
+  const double inv_reduce_bw = 1.0 / cp.reduce_bandwidth;
+  const double inv_mem_bw = 1.0 / cp.mem_bandwidth;
+  const double* inv_bw = rc.inv_bandwidth().data();
+  const sched::OpKind* kind = cs.kind.data();
+  const std::int32_t* rank = cs.rank.data();
+  const std::int32_t* peer = cs.peer.data();
+  const i64* bytes = cs.bytes.data();
+  const std::int32_t* extra_segs = cs.extra_segments.data();
+
+  for (size_t t = 0; t < cs.steps; ++t) {
+    double max_rank_overhead = 0;
+    double overhead = 0;
+    std::int32_t cur_rank = -1;
+    for (std::uint32_t i = cs.step_begin[t]; i < cs.step_begin[t + 1]; ++i) {
+      if (rank[i] != cur_rank) {  // ops are rank-grouped within a step
+        max_rank_overhead = std::max(max_rank_overhead, overhead);
+        overhead = 0;
+        cur_rank = rank[i];
+      }
+      const i64 b = bytes[i];
+      switch (kind[i]) {
+        case sched::OpKind::send: {
+          const RouteCache::ClassHops& h = rc.hops(cur_rank, peer[i]);
+          accumulate_send(result.traffic, h, b);
+          if (dense_links) {
+            for (const i64 link : rc.path(cur_rank, peer[i]))
+              link_bytes[static_cast<size_t>(link)] += b;
+          } else {
+            for (const i64 link : rc.path(cur_rank, peer[i])) {
+              if (link_bytes[static_cast<size_t>(link)] == 0) touched.push_back(link);
+              link_bytes[static_cast<size_t>(link)] += b;
+            }
+          }
+          overhead += (h.global > 0 ? cp.alpha_global : cp.alpha_local) +
+                      static_cast<double>(extra_segs[i]) * cp.seg_overhead;
+          break;
+        }
+        case sched::OpKind::recv:
+          break;  // latency accounted on the sender side
+        case sched::OpKind::recv_reduce:
+          overhead += static_cast<double>(b) * inv_reduce_bw;
+          break;
+        case sched::OpKind::local_perm:
+          overhead += static_cast<double>(b) * inv_mem_bw +
+                      static_cast<double>(extra_segs[i]) * cp.seg_overhead;
+          break;
+      }
+    }
+    max_rank_overhead = std::max(max_rank_overhead, overhead);
+
+    double max_link_time = 0;
+    if (dense_links) {
+      i64* lb = link_bytes.data();
+      double m0 = 0, m1 = 0;
+      size_t l = 0;
+      for (; l + 1 < num_links; l += 2) {
+        m0 = std::max(m0, static_cast<double>(lb[l]) * inv_bw[l]);
+        m1 = std::max(m1, static_cast<double>(lb[l + 1]) * inv_bw[l + 1]);
+      }
+      for (; l < num_links; ++l) m0 = std::max(m0, static_cast<double>(lb[l]) * inv_bw[l]);
+      max_link_time = std::max(m0, m1);
+      std::fill_n(lb, num_links, i64{0});
+    } else {
+      for (const i64 link : touched) {
+        max_link_time = std::max(max_link_time,
+                                 static_cast<double>(link_bytes[static_cast<size_t>(link)]) *
+                                     inv_bw[link]);
+        link_bytes[static_cast<size_t>(link)] = 0;
+      }
+      touched.clear();
+    }
+    result.seconds += max_link_time + max_rank_overhead;
+  }
+  return result;
+}
+
+// --- Schedule-level conveniences -----------------------------------------------
+
+TrafficStats measure_traffic(const sched::Schedule& sch, const Topology& topo,
+                             const Placement& pl) {
+  return measure_traffic(sched::CompiledSchedule::lower(sch), RouteCache(topo, pl));
+}
+
+SimResult simulate(const sched::Schedule& sch, const Topology& topo, const Placement& pl,
+                   const CostParams& cp) {
+  return simulate(sched::CompiledSchedule::lower(sch), RouteCache(topo, pl), cp);
+}
+
+i64 inter_group_bytes(const sched::Schedule& sch, std::span<const i64> group_of_rank) {
+  i64 total = 0;
+  for (Rank r = 0; r < sch.p; ++r)
+    for (const auto& step : sch.steps[static_cast<size_t>(r)])
+      for (const sched::Op& op : step.ops)
+        if (op.kind == sched::OpKind::send &&
+            group_of_rank[static_cast<size_t>(r)] !=
+                group_of_rank[static_cast<size_t>(op.peer)])
+          total += op.bytes;
+  return total;
 }
 
 }  // namespace bine::net

@@ -3,7 +3,9 @@
 #include <span>
 #include <vector>
 
+#include "net/route_cache.hpp"
 #include "net/topology.hpp"
+#include "sched/compiled.hpp"
 #include "sched/schedule.hpp"
 
 /// Laying a schedule onto a topology: exact per-link-class traffic accounting
@@ -12,19 +14,25 @@
 ///
 /// Traffic is exact; time is modeled -- see DESIGN.md's substitutions table
 /// for why this preserves the paper's qualitative results.
+///
+/// Two engines implement the model:
+///
+///   * The *compiled* engine -- the default and the one the evaluation
+///     harness uses -- consumes a `sched::CompiledSchedule` (flat SoA op
+///     stream, sched/compiled.hpp) plus a `RouteCache` (CSR link paths per
+///     rank pair, net/route_cache.hpp). It computes traffic and time in a
+///     single pass with dense per-link byte accumulators and a touched-link
+///     list, never calling the virtual `Topology::route()`.
+///   * The *reference* engine (`*_reference`) is the retained naive
+///     implementation: per-op virtual routing and a per-step hash map. It is
+///     the oracle the parity tests and `bench_sim_engine` compare against;
+///     don't use it in sweeps.
+///
+/// The `Schedule`-taking overloads lower + build a cache per call, which is
+/// convenient for one-off measurements; sweeps should build the
+/// `RouteCache` once per (Topology, Placement) and lower each schedule once
+/// (see harness::Runner).
 namespace bine::net {
-
-/// Rank -> node placement. Identity (one rank per node, block order) unless
-/// an allocation says otherwise.
-struct Placement {
-  std::vector<i64> node_of_rank;
-  [[nodiscard]] static Placement identity(i64 p) {
-    Placement pl;
-    pl.node_of_rank.resize(static_cast<size_t>(p));
-    for (i64 r = 0; r < p; ++r) pl.node_of_rank[static_cast<size_t>(r)] = r;
-    return pl;
-  }
-};
 
 struct TrafficStats {
   i64 local_bytes = 0;
@@ -37,6 +45,10 @@ struct TrafficStats {
 /// Exact per-class byte counts of `sch` routed over `topo` under `pl`.
 [[nodiscard]] TrafficStats measure_traffic(const sched::Schedule& sch, const Topology& topo,
                                            const Placement& pl);
+
+/// Compiled fast path: O(1) per message via the cache's per-pair hop counts.
+[[nodiscard]] TrafficStats measure_traffic(const sched::CompiledSchedule& cs,
+                                           const RouteCache& rc);
 
 /// Bytes crossing group boundaries (no routing needed): the metric of Fig. 5
 /// and of the "Traffic Red." columns when groups have single logical pipes.
@@ -62,8 +74,20 @@ struct SimResult {
 ///   max over links (bytes on link / bandwidth)
 /// + max over ranks  (sum of message alphas + segment overheads
 ///                    + reduce bytes / reduce bw + permute bytes / mem bw).
-/// Total time is the sum over steps.
+/// Total time is the sum over steps. Traffic stats fall out of the same pass.
 [[nodiscard]] SimResult simulate(const sched::Schedule& sch, const Topology& topo,
                                  const Placement& pl, const CostParams& cp);
+
+/// Compiled fast path over pre-lowered IR and pre-built routes.
+[[nodiscard]] SimResult simulate(const sched::CompiledSchedule& cs, const RouteCache& rc,
+                                 const CostParams& cp);
+
+/// Naive oracles (virtual routing per op, hash-map accumulators), retained
+/// verbatim for the parity suite and the before/after benchmark.
+[[nodiscard]] TrafficStats measure_traffic_reference(const sched::Schedule& sch,
+                                                     const Topology& topo,
+                                                     const Placement& pl);
+[[nodiscard]] SimResult simulate_reference(const sched::Schedule& sch, const Topology& topo,
+                                           const Placement& pl, const CostParams& cp);
 
 }  // namespace bine::net

@@ -40,9 +40,10 @@ ExecResult<T> execute_threaded(const sched::Schedule& schedule, ReduceOp op,
   std::string first_error;
   std::atomic<i64> messages{0}, wire_bytes{0};
 
+  const size_t nsteps = schedule.num_steps();
   auto worker = [&](Rank r) {
     const auto& steps = schedule.steps[static_cast<size_t>(r)];
-    for (size_t t = 0; t < schedule.num_steps(); ++t) {
+    for (size_t t = 0; t < nsteps; ++t) {
       // Phase 1: post sends from pre-step state.
       for (const sched::Op& opr : steps[t].ops) {
         if (opr.kind != sched::OpKind::send) continue;

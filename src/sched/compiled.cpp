@@ -1,0 +1,61 @@
+#include "sched/compiled.hpp"
+
+#include <algorithm>
+
+namespace bine::sched {
+
+void CompiledSchedule::lower_into(const Schedule& s, CompiledSchedule& out) {
+  out.p = s.p;
+  out.steps = s.num_steps();
+
+  // Size pass reads only the per-step vector headers; plain recvs are
+  // dropped during the fill, so this is an upper bound trimmed afterwards.
+  size_t total_ops = 0;
+  for (const auto& rank_steps : s.steps)
+    for (const RankStep& st : rank_steps) total_ops += st.ops.size();
+  out.kind.resize(total_ops);
+  out.rank.resize(total_ops);
+  out.peer.resize(total_ops);
+  out.bytes.resize(total_ops);
+  out.extra_segments.resize(total_ops);
+  out.step_begin.clear();
+  out.step_begin.reserve(out.steps + 1);
+  out.step_begin.push_back(0);
+
+  // Step-major fill: the traversal order IS the output order, so every array
+  // is written sequentially with one cursor. Iterating ranks in increasing
+  // order inside a step keeps ops grouped by rank and in original per-rank
+  // op order -- the engine's overhead accumulator and the float-level parity
+  // with the reference engine both rely on this.
+  std::uint32_t i = 0;
+  for (size_t t = 0; t < out.steps; ++t) {
+    for (Rank r = 0; r < s.p; ++r) {
+      const auto& rank_steps = s.steps[static_cast<size_t>(r)];
+      if (t >= rank_steps.size()) continue;  // ragged rank: no ops this step
+      for (const Op& op : rank_steps[t].ops) {
+        if (op.kind == OpKind::recv) continue;  // cost-free in the model
+        out.kind[i] = op.kind;
+        out.rank[i] = static_cast<std::int32_t>(r);
+        out.peer[i] = static_cast<std::int32_t>(op.peer);
+        out.bytes[i] = op.bytes;
+        out.extra_segments[i] =
+            static_cast<std::int32_t>(std::max<i64>(0, op.segments - 1));
+        ++i;
+      }
+    }
+    out.step_begin.push_back(i);
+  }
+  out.kind.resize(i);
+  out.rank.resize(i);
+  out.peer.resize(i);
+  out.bytes.resize(i);
+  out.extra_segments.resize(i);
+}
+
+CompiledSchedule CompiledSchedule::lower(const Schedule& s) {
+  CompiledSchedule out;
+  lower_into(s, out);
+  return out;
+}
+
+}  // namespace bine::sched

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+/// Flat schedule IR for the simulator hot path.
+///
+/// `Schedule` is built for generation and execution: per-rank vectors of
+/// steps of `Op`s carrying full `BlockSet`s. The cost model needs none of
+/// that structure -- only (step, rank, kind, peer, bytes, segments) -- so
+/// `CompiledSchedule::lower()` flattens the nested representation once into
+/// contiguous structure-of-arrays storage the simulator streams through:
+///
+///   * ops are sorted by (step, rank, original op order) and indexed by a
+///     per-step CSR range, so one pass over a step touches memory linearly;
+///   * `extra_segments` pre-computes max(0, segments - 1), the only form the
+///     cost model ever uses;
+///   * plain `recv` ops are dropped entirely: the cost model charges message
+///     latency on the sender side and a recv moves no wire bytes, so they
+///     would only dilute the op stream (recv_reduce is kept -- it costs
+///     reduction bandwidth);
+///   * ragged schedules (ranks with differing step counts) lower correctly:
+///     missing trailing steps contribute no ops.
+///
+/// Lowering costs one traversal of the schedule and is amortized across the
+/// simulator's per-step work; `net::simulate`/`net::measure_traffic` consume
+/// this IR together with a `net::RouteCache` (see route_cache.hpp).
+namespace bine::sched {
+
+struct CompiledSchedule {
+  i64 p = 0;
+  size_t steps = 0;
+
+  /// CSR over the op arrays: ops of step t are [step_begin[t], step_begin[t+1]).
+  std::vector<std::uint32_t> step_begin;
+
+  // One entry per op, sorted by (step, issuing rank, op order within rank).
+  std::vector<OpKind> kind;
+  std::vector<std::int32_t> rank;   ///< issuing rank
+  std::vector<std::int32_t> peer;   ///< peer rank (-1 for local_perm)
+  std::vector<i64> bytes;           ///< wire bytes (local_perm: bytes moved)
+  std::vector<std::int32_t> extra_segments;  ///< max(0, segments - 1)
+
+  [[nodiscard]] size_t num_ops() const noexcept { return kind.size(); }
+
+  /// Flatten `s` into SoA form. Pure; does not require normalized steps.
+  [[nodiscard]] static CompiledSchedule lower(const Schedule& s);
+
+  /// Flatten `s` into `out`, reusing out's array capacity. Sweeps lower one
+  /// schedule per simulation, and for large schedules the SoA arrays cross
+  /// glibc's mmap threshold -- re-allocating them per cell costs more kernel
+  /// page-fault time than the lowering itself. Keep one scratch
+  /// CompiledSchedule per worker and the arrays stay resident.
+  static void lower_into(const Schedule& s, CompiledSchedule& out);
+};
+
+}  // namespace bine::sched

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -14,7 +15,11 @@
 /// of synchronized steps of send/recv/local operations over logical blocks.
 /// One schedule serves two consumers:
 ///   * runtime::Executor runs it over real buffers and verifies semantics;
-///   * net::simulate lays it onto a topology model for traffic/time.
+///   * net::simulate lays it onto a topology model for traffic/time -- via
+///     sched::CompiledSchedule (compiled.hpp), which lowers the nested
+///     representation below into flat structure-of-arrays form once per
+///     simulation. This type stays optimized for *generation* (per-rank
+///     append, BlockSet bookkeeping); the IR is what the hot loop consumes.
 namespace bine::sched {
 
 enum class Collective {
@@ -86,8 +91,14 @@ struct Schedule {
   /// steps[rank][step]
   std::vector<std::vector<RankStep>> steps;
 
+  /// Number of synchronized steps: the max over ranks, so a ragged schedule
+  /// (one that missed normalize_steps()) can never be silently
+  /// under-simulated. validate() still rejects ragged schedules outright;
+  /// consumers that index steps[r][t] must bound t by steps[r].size().
   [[nodiscard]] size_t num_steps() const noexcept {
-    return steps.empty() ? 0 : steps.front().size();
+    size_t n = 0;
+    for (const auto& rank_steps : steps) n = std::max(n, rank_steps.size());
+    return n;
   }
 
   /// Bytes covered by a block set under this schedule's vector config.

@@ -1,0 +1,279 @@
+// Compiled simulation engine tests: route-cache vs virtual route()
+// equivalence, flat-IR lowering invariants, compiled-vs-reference parity of
+// TrafficStats/SimResult across all four topology families, ragged-schedule
+// safety, and thread-count determinism of the parallel sweep runner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "coll/registry.hpp"
+#include "harness/parallel.hpp"
+#include "harness/runner.hpp"
+#include "net/profiles.hpp"
+#include "net/route_cache.hpp"
+#include "net/simulate.hpp"
+#include "net/topology.hpp"
+#include "sched/compiled.hpp"
+
+using namespace bine;
+
+namespace {
+
+std::vector<std::unique_ptr<net::Topology>> small_topologies() {
+  std::vector<std::unique_ptr<net::Topology>> topos;
+  topos.push_back(std::make_unique<net::FatTree>(4, 8, 2, 25e9));
+  topos.push_back(std::make_unique<net::Dragonfly>(4, 8, 2, 25e9, 25e9));
+  topos.push_back(std::make_unique<net::Torus>(std::vector<i64>{4, 4, 2}, 6.8e9));
+  topos.push_back(std::make_unique<net::MultiGpu>(8, 4, 150e9, 25e9));
+  return topos;  // all 32 endpoints
+}
+
+/// A placement that scrambles ranks over the nodes so rank pair != node pair.
+net::Placement scrambled_placement(i64 p) {
+  net::Placement pl;
+  pl.node_of_rank.resize(static_cast<size_t>(p));
+  for (i64 r = 0; r < p; ++r)
+    pl.node_of_rank[static_cast<size_t>(r)] = (r * 13 + 5) % p;  // 13 coprime to 32
+  return pl;
+}
+
+}  // namespace
+
+TEST(RouteCache, MatchesVirtualRouteForAllPairs) {
+  for (const auto& topo : small_topologies()) {
+    for (const bool scramble : {false, true}) {
+      const net::Placement pl = scramble ? scrambled_placement(topo->num_nodes())
+                                         : net::Placement::identity(topo->num_nodes());
+      const net::RouteCache rc(*topo, pl);
+      ASSERT_EQ(rc.num_ranks(), topo->num_nodes());
+      ASSERT_EQ(rc.num_links(), static_cast<i64>(topo->links().size()));
+      std::vector<i64> path;
+      for (Rank s = 0; s < rc.num_ranks(); ++s)
+        for (Rank d = 0; d < rc.num_ranks(); ++d) {
+          path.clear();
+          topo->route(pl.node_of_rank[static_cast<size_t>(s)],
+                      pl.node_of_rank[static_cast<size_t>(d)], path);
+          const auto cached = rc.path(s, d);
+          ASSERT_EQ(std::vector<i64>(cached.begin(), cached.end()), path)
+              << topo->name() << " pair " << s << "->" << d;
+          net::RouteCache::ClassHops expect;
+          bool crosses = false;
+          for (const i64 link : path) {
+            switch (topo->links()[static_cast<size_t>(link)].cls) {
+              case net::LinkClass::local: ++expect.local; break;
+              case net::LinkClass::global: ++expect.global; crosses = true; break;
+              case net::LinkClass::intra_node: ++expect.intra_node; break;
+            }
+          }
+          const auto& h = rc.hops(s, d);
+          EXPECT_EQ(h.local, expect.local);
+          EXPECT_EQ(h.global, expect.global);
+          EXPECT_EQ(h.intra_node, expect.intra_node);
+          EXPECT_EQ(rc.crosses_global(s, d), crosses);
+        }
+      for (size_t l = 0; l < topo->links().size(); ++l) {
+        EXPECT_EQ(rc.link_class()[l], topo->links()[l].cls);
+        EXPECT_DOUBLE_EQ(rc.inv_bandwidth()[l], 1.0 / topo->links()[l].bandwidth);
+      }
+    }
+  }
+}
+
+TEST(CompiledSchedule, LoweringPreservesOpsInStepRankOrder) {
+  coll::Config cfg;
+  cfg.p = 16;
+  cfg.elem_count = 1024;
+  const sched::Schedule sch =
+      coll::find_algorithm(sched::Collective::allreduce, "rabenseifner").make(cfg);
+  const sched::CompiledSchedule cs = sched::CompiledSchedule::lower(sch);
+
+  EXPECT_EQ(cs.p, sch.p);
+  EXPECT_EQ(cs.steps, sch.num_steps());
+  ASSERT_EQ(cs.step_begin.size(), cs.steps + 1);
+  EXPECT_EQ(cs.step_begin.front(), 0u);
+  EXPECT_EQ(cs.step_begin.back(), cs.num_ops());
+
+  // Plain recvs are cost-free in the model and dropped at lowering time;
+  // everything else must survive.
+  size_t total_costed_ops = 0;
+  for (const auto& rank_steps : sch.steps)
+    for (const auto& st : rank_steps)
+      for (const auto& op : st.ops)
+        if (op.kind != sched::OpKind::recv) ++total_costed_ops;
+  EXPECT_EQ(cs.num_ops(), total_costed_ops);
+
+  // Within each step, ops must be grouped by non-decreasing rank and mirror
+  // the original per-rank op order (the engine's overhead accumulator and
+  // float-parity with the reference depend on this).
+  auto costed_ops_of = [&](std::int32_t r, size_t t) {
+    std::vector<const sched::Op*> ops;
+    for (const sched::Op& op : sch.steps[static_cast<size_t>(r)][t].ops)
+      if (op.kind != sched::OpKind::recv) ops.push_back(&op);
+    return ops;
+  };
+  for (size_t t = 0; t < cs.steps; ++t) {
+    ASSERT_LE(cs.step_begin[t], cs.step_begin[t + 1]);
+    std::int32_t prev_rank = -1;
+    std::vector<const sched::Op*> rank_ops;
+    size_t op_in_rank = 0;
+    for (std::uint32_t i = cs.step_begin[t]; i < cs.step_begin[t + 1]; ++i) {
+      ASSERT_GE(cs.rank[i], prev_rank);
+      if (cs.rank[i] != prev_rank) {
+        rank_ops = costed_ops_of(cs.rank[i], t);
+        op_in_rank = 0;
+      }
+      ASSERT_LT(op_in_rank, rank_ops.size());
+      const sched::Op& op = *rank_ops[op_in_rank];
+      EXPECT_EQ(cs.kind[i], op.kind);
+      EXPECT_EQ(cs.peer[i], op.peer);
+      EXPECT_EQ(cs.bytes[i], op.bytes);
+      EXPECT_EQ(cs.extra_segments[i], std::max<i64>(0, op.segments - 1));
+      prev_rank = cs.rank[i];
+      ++op_in_rank;
+    }
+  }
+
+  // lower_into into a dirty scratch (previously holding a bigger schedule)
+  // must produce exactly the same IR as a fresh lower().
+  sched::CompiledSchedule scratch = sched::CompiledSchedule::lower(sch);
+  coll::Config small;
+  small.p = 8;
+  small.elem_count = 64;
+  const sched::Schedule sch2 =
+      coll::find_algorithm(sched::Collective::allreduce, "recursive_doubling").make(small);
+  sched::CompiledSchedule::lower_into(sch2, scratch);
+  const sched::CompiledSchedule fresh = sched::CompiledSchedule::lower(sch2);
+  EXPECT_EQ(scratch.p, fresh.p);
+  EXPECT_EQ(scratch.steps, fresh.steps);
+  EXPECT_EQ(scratch.step_begin, fresh.step_begin);
+  EXPECT_EQ(scratch.kind, fresh.kind);
+  EXPECT_EQ(scratch.rank, fresh.rank);
+  EXPECT_EQ(scratch.peer, fresh.peer);
+  EXPECT_EQ(scratch.bytes, fresh.bytes);
+  EXPECT_EQ(scratch.extra_segments, fresh.extra_segments);
+}
+
+TEST(SimEngine, CompiledMatchesReferenceAcrossTopologies) {
+  const struct {
+    sched::Collective coll;
+    const char* name;
+  } cases[] = {
+      {sched::Collective::allreduce, "recursive_doubling"},
+      {sched::Collective::allreduce, "rabenseifner"},
+      {sched::Collective::allreduce, "ring"},
+      {sched::Collective::bcast, "binomial"},
+      {sched::Collective::bcast, "bine"},
+      {sched::Collective::reduce_scatter, "recursive_halving"},
+      {sched::Collective::allgather, "bruck"},
+      {sched::Collective::alltoall, "bruck"},
+      {sched::Collective::alltoall, "pairwise"},
+  };
+  net::CostParams cp;
+  for (const auto& topo : small_topologies()) {
+    for (const bool scramble : {false, true}) {
+      const net::Placement pl = scramble ? scrambled_placement(topo->num_nodes())
+                                         : net::Placement::identity(topo->num_nodes());
+      const net::RouteCache rc(*topo, pl);
+      for (const auto& c : cases) {
+        coll::Config cfg;
+        cfg.p = topo->num_nodes();
+        cfg.elem_count = 3 * cfg.p;  // non-divisible block sizes included
+        const sched::Schedule sch = coll::find_algorithm(c.coll, c.name).make(cfg);
+        const sched::CompiledSchedule cs = sched::CompiledSchedule::lower(sch);
+        SCOPED_TRACE(std::string(topo->name()) + "/" + c.name +
+                     (scramble ? "/scrambled" : "/identity"));
+
+        const net::TrafficStats ref_traffic = net::measure_traffic_reference(sch, *topo, pl);
+        const net::TrafficStats fast_traffic = net::measure_traffic(cs, rc);
+        EXPECT_EQ(fast_traffic.local_bytes, ref_traffic.local_bytes);
+        EXPECT_EQ(fast_traffic.global_bytes, ref_traffic.global_bytes);
+        EXPECT_EQ(fast_traffic.intra_node_bytes, ref_traffic.intra_node_bytes);
+        EXPECT_EQ(fast_traffic.messages, ref_traffic.messages);
+
+        const net::SimResult ref = net::simulate_reference(sch, *topo, pl, cp);
+        const net::SimResult fast = net::simulate(cs, rc, cp);
+        EXPECT_EQ(fast.steps, ref.steps);
+        EXPECT_EQ(fast.traffic.local_bytes, ref.traffic.local_bytes);
+        EXPECT_EQ(fast.traffic.global_bytes, ref.traffic.global_bytes);
+        EXPECT_EQ(fast.traffic.intra_node_bytes, ref.traffic.intra_node_bytes);
+        EXPECT_EQ(fast.traffic.messages, ref.traffic.messages);
+        EXPECT_NEAR(fast.seconds, ref.seconds, std::abs(ref.seconds) * 1e-12);
+
+        // The Schedule-level conveniences are the compiled engine.
+        const net::SimResult conv = net::simulate(sch, *topo, pl, cp);
+        EXPECT_EQ(conv.seconds, fast.seconds);
+        EXPECT_EQ(conv.traffic.global_bytes, fast.traffic.global_bytes);
+      }
+    }
+  }
+}
+
+TEST(SimEngine, RaggedScheduleIsNotUnderSimulated) {
+  // Rank 0 sends in steps 0 and 1; the schedule is left ragged on purpose
+  // (rank 2 never grows past step 0's vector)...
+  sched::Schedule sch;
+  sch.coll = sched::Collective::bcast;
+  sch.algorithm = "ragged_test";
+  sch.p = 3;
+  sch.nblocks = 3;
+  sch.elem_count = 300;
+  sch.steps.assign(3, {});
+  sch.add_exchange(0, 0, 1, sched::BlockSet::all(3), false);
+  sch.add_exchange(1, 0, 2, sched::BlockSet::all(3), false);
+  sch.steps[2].resize(1);  // re-raggedify rank 2: one step vs two elsewhere
+
+  // ...num_steps() must still see both steps, and both engines must count
+  // both sends.
+  EXPECT_EQ(sch.num_steps(), 2u);
+  net::Torus topo({3}, 10e9);
+  const net::Placement pl = net::Placement::identity(3);
+  const net::CostParams cp;
+  const net::SimResult ref = net::simulate_reference(sch, topo, pl, cp);
+  const net::SimResult fast =
+      net::simulate(sched::CompiledSchedule::lower(sch), net::RouteCache(topo, pl), cp);
+  EXPECT_EQ(ref.traffic.messages, 2);
+  EXPECT_EQ(fast.traffic.messages, 2);
+  EXPECT_EQ(fast.steps, 2u);
+  EXPECT_NEAR(fast.seconds, ref.seconds, std::abs(ref.seconds) * 1e-12);
+}
+
+TEST(SweepRunner, ResultsAreBitIdenticalAcrossThreadCounts) {
+  std::vector<harness::SweepQuery> queries;
+  for (const sched::Collective coll :
+       {sched::Collective::allreduce, sched::Collective::bcast, sched::Collective::alltoall})
+    for (const i64 size : {256, 16384, 1048576}) {
+      queries.push_back({coll, 64, size, harness::SweepQuery::Kind::bine, true});
+      queries.push_back({coll, 64, size, harness::SweepQuery::Kind::binomial, false});
+      queries.push_back({coll, 64, size, harness::SweepQuery::Kind::sota, false});
+    }
+
+  std::vector<std::vector<std::pair<std::string, harness::RunResult>>> all;
+  for (const i64 threads : {1, 2, 5}) {
+    harness::Runner runner(net::fugaku_profile({4, 4, 4}));
+    all.push_back(runner.sweep(queries, threads));
+  }
+  for (size_t v = 1; v < all.size(); ++v) {
+    ASSERT_EQ(all[v].size(), all[0].size());
+    for (size_t i = 0; i < all[0].size(); ++i) {
+      EXPECT_EQ(all[v][i].first, all[0][i].first) << "query " << i;
+      // Bitwise-equal doubles: same cells must run the same arithmetic
+      // regardless of which worker executes them.
+      EXPECT_EQ(all[v][i].second.seconds, all[0][i].second.seconds) << "query " << i;
+      EXPECT_EQ(all[v][i].second.global_bytes, all[0][i].second.global_bytes);
+      EXPECT_EQ(all[v][i].second.total_bytes, all[0][i].second.total_bytes);
+      EXPECT_EQ(all[v][i].second.steps, all[0][i].second.steps);
+    }
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexOnceAndPropagatesExceptions) {
+  std::vector<std::atomic<int>> hits(257);
+  harness::parallel_for(257, [&](i64 i) { ++hits[static_cast<size_t>(i)]; }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  EXPECT_THROW(
+      harness::parallel_for(
+          64, [&](i64 i) { if (i == 13) throw std::runtime_error("boom"); }, 4),
+      std::runtime_error);
+}
