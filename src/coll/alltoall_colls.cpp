@@ -42,7 +42,7 @@ Schedule alltoall_bruck(const Config& cfg) {
       if (moving[static_cast<size_t>(r)].empty()) continue;
       const Rank q = pmod(r + dist, p);
       BlockSet blocks =
-          sched::blockset_from_ids(moving[static_cast<size_t>(r)], sch.nblocks);
+          sched::blockset_from_ids(moving[static_cast<size_t>(r)], sch.nblocks, sch.arena());
       const i64 segs = blocks.block_count();  // store-and-forward packs per block
       sch.add_exchange(step, r, q, std::move(blocks), false, segs);
       for (const i64 id : moving[static_cast<size_t>(r)])
@@ -97,7 +97,7 @@ Schedule alltoall_bine(const Config& cfg) {
       std::vector<i64> ids;
       ids.reserve(moving[static_cast<size_t>(r)].size());
       for (const Parcel& par : moving[static_cast<size_t>(r)]) ids.push_back(par.id);
-      BlockSet blocks = sched::blockset_from_ids(std::move(ids), sch.nblocks);
+      BlockSet blocks = sched::blockset_from_ids(std::move(ids), sch.nblocks, sch.arena());
       const i64 segs = blocks.block_count();
       sch.add_exchange(static_cast<size_t>(k), r, q, std::move(blocks), false, segs);
       auto& dest = held[static_cast<size_t>(q)];

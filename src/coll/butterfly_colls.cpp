@@ -54,15 +54,15 @@ using detail::rel_to_dest;
 
 /// Physical blocks carried for destination set `dests` (p'-space), folding in
 /// the blocks of the extra ranks paired during the non-power-of-two pre-step.
-BlockSet dest_blocks(const std::vector<i64>& dests, i64 P, i64 extra, i64 p) {
+BlockSet dest_blocks(const std::vector<i64>& dests, i64 P, i64 extra, i64 p,
+                     sched::ScheduleArena& arena) {
   std::vector<i64> ids;
   ids.reserve(dests.size() * 2);
   for (const i64 x : dests) {
     ids.push_back(x);
     if (x < extra) ids.push_back(P + x);
   }
-  (void)p;
-  return sched::blockset_from_ids(std::move(ids), p);
+  return sched::blockset_from_ids(std::move(ids), p, arena);
 }
 
 struct Layout {
@@ -91,17 +91,18 @@ void require_pow2_for(const char* what, const Layout& lo) {
 size_t emit_rs_steps(Schedule& sch, const Config& cfg, const Layout& lo,
                      NoncontigStrategy st, size_t step0) {
   const bool aliased = st == NoncontigStrategy::send;
+  std::vector<i64> dests;
   if (st == NoncontigStrategy::two_transmission) {
     for (int j = 0; j < lo.s; ++j) {
       const core::CircularInterval rel = dh_sent_interval(j, lo.P);
       for (Rank r = 0; r < lo.P; ++r) {
         const Rank q = butterfly_partner(ButterflyVariant::bine_dh, r, j, lo.P);
-        std::vector<i64> dests;
+        dests.clear();
         dests.reserve(static_cast<size_t>(rel.length));
         for (i64 k = 0; k < rel.length; ++k)
           dests.push_back(rel_to_dest(r, pmod(rel.start + k, lo.P), lo.P));
         sch.add_exchange(step0 + static_cast<size_t>(j), r, q,
-                         dest_blocks(dests, lo.P, lo.extra, cfg.p), true);
+                         dest_blocks(dests, lo.P, lo.extra, cfg.p, sch.arena()), true);
       }
     }
     return step0 + static_cast<size_t>(lo.s);
@@ -110,16 +111,16 @@ size_t emit_rs_steps(Schedule& sch, const Config& cfg, const Layout& lo,
   for (int j = 0; j < lo.s; ++j) {
     for (Rank r = 0; r < lo.P; ++r) {
       const Rank q = butterfly_partner(ButterflyVariant::bine_dd, r, j, lo.P);
-      std::vector<i64> dests;
+      dests.clear();
       dests.reserve(rel_by_step[static_cast<size_t>(j)].size());
       for (const i64 l : rel_by_step[static_cast<size_t>(j)])
         dests.push_back(rel_to_dest(r, l, lo.P));
       if (aliased)
         for (i64& d : dests) d = core::permuted_position(d, lo.P);
-      BlockSet blocks = dest_blocks(dests, lo.P, lo.extra, cfg.p);
+      BlockSet blocks = dest_blocks(dests, lo.P, lo.extra, cfg.p, sch.arena());
       const i64 segs =
           st == NoncontigStrategy::block_by_block ? blocks.block_count() : 1;
-      sch.add_exchange(step0 + static_cast<size_t>(j), r, q, std::move(blocks), true, segs);
+      sch.add_exchange(step0 + static_cast<size_t>(j), r, q, blocks, true, segs);
     }
   }
   return step0 + static_cast<size_t>(lo.s);
@@ -129,17 +130,18 @@ size_t emit_rs_steps(Schedule& sch, const Config& cfg, const Layout& lo,
 size_t emit_ag_steps(Schedule& sch, const Config& cfg, const Layout& lo,
                      NoncontigStrategy st, size_t step0) {
   const bool aliased = st == NoncontigStrategy::send;
+  std::vector<i64> dests;
   if (st == NoncontigStrategy::two_transmission) {
     for (int i = 0; i < lo.s; ++i) {
       const core::CircularInterval rel = dd_held_interval(i, lo.P);
       for (Rank r = 0; r < lo.P; ++r) {
         const Rank q = butterfly_partner(ButterflyVariant::bine_dd, r, i, lo.P);
-        std::vector<i64> dests;
+        dests.clear();
         dests.reserve(static_cast<size_t>(rel.length));
         for (i64 k = 0; k < rel.length; ++k)
           dests.push_back(rel_to_dest(r, pmod(rel.start + k, lo.P), lo.P));
         sch.add_exchange(step0 + static_cast<size_t>(i), r, q,
-                         dest_blocks(dests, lo.P, lo.extra, cfg.p), false);
+                         dest_blocks(dests, lo.P, lo.extra, cfg.p, sch.arena()), false);
       }
     }
     return step0 + static_cast<size_t>(lo.s);
@@ -148,17 +150,16 @@ size_t emit_ag_steps(Schedule& sch, const Config& cfg, const Layout& lo,
   for (int i = 0; i < lo.s; ++i) {
     for (Rank r = 0; r < lo.P; ++r) {
       const Rank q = butterfly_partner(ButterflyVariant::bine_dh, r, i, lo.P);
-      std::vector<i64> dests;
+      dests.clear();
       dests.reserve(rel_by_step[static_cast<size_t>(i)].size());
       for (const i64 l : rel_by_step[static_cast<size_t>(i)])
         dests.push_back(rel_to_dest(r, l, lo.P));
       if (aliased)
         for (i64& d : dests) d = core::permuted_position(d, lo.P);
-      BlockSet blocks = dest_blocks(dests, lo.P, lo.extra, cfg.p);
+      BlockSet blocks = dest_blocks(dests, lo.P, lo.extra, cfg.p, sch.arena());
       const i64 segs =
           st == NoncontigStrategy::block_by_block ? blocks.block_count() : 1;
-      sch.add_exchange(step0 + static_cast<size_t>(i), r, q, std::move(blocks), false,
-                       segs);
+      sch.add_exchange(step0 + static_cast<size_t>(i), r, q, blocks, false, segs);
     }
   }
   return step0 + static_cast<size_t>(lo.s);
@@ -307,7 +308,7 @@ Schedule reduce_scatter_recursive_halving(const Config& cfg) {
     const int lvl = lo.s - 1 - j;
     for (Rank r = 0; r < lo.P; ++r) {
       const Rank q = r ^ (i64{1} << lvl);
-      sch.add_exchange(step, r, q, dest_blocks(cube_range(q, lvl), lo.P, lo.extra, cfg.p),
+      sch.add_exchange(step, r, q, dest_blocks(cube_range(q, lvl), lo.P, lo.extra, cfg.p, sch.arena()),
                        true);
     }
   }
@@ -328,7 +329,7 @@ Schedule allgather_recursive_doubling(const Config& cfg) {
   for (int j = 0; j < lo.s; ++j, ++step)
     for (Rank r = 0; r < lo.P; ++r)
       sch.add_exchange(step, r, r ^ (i64{1} << j),
-                       dest_blocks(cube_range(r, j), lo.P, lo.extra, cfg.p), false);
+                       dest_blocks(cube_range(r, j), lo.P, lo.extra, cfg.p, sch.arena()), false);
   for (i64 i = 0; i < lo.extra; ++i)
     sch.add_exchange(step, i, lo.P + i, BlockSet::all(cfg.p), false);
   sch.normalize_steps();
@@ -364,14 +365,14 @@ Schedule allreduce_rabenseifner(const Config& cfg) {
     const int lvl = lo.s - 1 - j;
     for (Rank r = 0; r < lo.P; ++r) {
       const Rank q = r ^ (i64{1} << lvl);
-      sch.add_exchange(step, r, q, dest_blocks(cube_range(q, lvl), lo.P, lo.extra, cfg.p),
+      sch.add_exchange(step, r, q, dest_blocks(cube_range(q, lvl), lo.P, lo.extra, cfg.p, sch.arena()),
                        true);
     }
   }
   for (int j = 0; j < lo.s; ++j, ++step)
     for (Rank r = 0; r < lo.P; ++r)
       sch.add_exchange(step, r, r ^ (i64{1} << j),
-                       dest_blocks(cube_range(r, j), lo.P, lo.extra, cfg.p), false);
+                       dest_blocks(cube_range(r, j), lo.P, lo.extra, cfg.p, sch.arena()), false);
   for (i64 i = 0; i < lo.extra; ++i)
     sch.add_exchange(step, i, lo.P + i, BlockSet::all(cfg.p), false);
   sch.normalize_steps();

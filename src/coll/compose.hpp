@@ -16,6 +16,8 @@ namespace bine::coll {
   sched::Schedule out = a;
   out.coll = coll;
   out.algorithm = std::move(name);
+  // b's ops carry BlockSets pointing into b's arena; keep it alive.
+  out.retain_arena_of(b);
   const size_t offset = out.num_steps();
   for (Rank r = 0; r < out.p; ++r) {
     auto& dst = out.steps[static_cast<size_t>(r)];

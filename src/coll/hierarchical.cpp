@@ -57,7 +57,7 @@ Schedule allreduce_hierarchical_bine(const Config& cfg, i64 gpus_per_node) {
           ids.push_back(b);
       if (ids.empty()) continue;
       sch.add_exchange(step, r, q * G + l,
-                       sched::blockset_from_ids(std::move(ids), cfg.p), true);
+                       sched::blockset_from_ids(std::move(ids), cfg.p, sch.arena()), true);
     }
   for (int k = 0; k < s; ++k, ++step)
     for (Rank r = 0; r < cfg.p; ++r) {
@@ -69,7 +69,7 @@ Schedule allreduce_hierarchical_bine(const Config& cfg, i64 gpus_per_node) {
           ids.push_back(b);
       if (ids.empty()) continue;
       sch.add_exchange(step, r, q * G + l,
-                       sched::blockset_from_ids(std::move(ids), cfg.p), false);
+                       sched::blockset_from_ids(std::move(ids), cfg.p, sch.arena()), false);
     }
 
   // Phase 3 -- intra-node allgather: every GPU rebroadcasts its reduced shard

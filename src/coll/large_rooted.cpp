@@ -33,12 +33,13 @@ namespace {
 /// logical destination d is phys(reverse(nu(d))). The reverse(nu) aliasing
 /// maps dd-subtrees (and the halving sets derived from them) onto contiguous
 /// runs, which is what keeps every transmission contiguous (Fig. 8).
-BlockSet aliased_blocks(const std::vector<i64>& logical_dests, Rank root, i64 p) {
+BlockSet aliased_blocks(const std::vector<i64>& logical_dests, Rank root, i64 p,
+                        sched::ScheduleArena& arena) {
   std::vector<i64> ids;
   ids.reserve(logical_dests.size());
   for (const i64 d : logical_dests)
     ids.push_back(to_physical(core::permuted_position(d, p), root, p));
-  return sched::blockset_from_ids(std::move(ids), p);
+  return sched::blockset_from_ids(std::move(ids), p, arena);
 }
 
 i64 rel_dest(Rank l, i64 rel, i64 p) { return pmod(l % 2 == 0 ? l + rel : l - rel, p); }
@@ -55,7 +56,7 @@ void emit_aliased_dh_allgather(Schedule& sch, const Config& cfg, size_t step0) {
       for (i64 rel = 0; rel < P; ++rel)
         if ((core::nu(rel, P) & low_bits(s - i)) == 0) dests.push_back(rel_dest(l, rel, P));
       sch.add_exchange(step0 + static_cast<size_t>(i), to_physical(l, cfg.root, P),
-                       to_physical(q, cfg.root, P), aliased_blocks(dests, cfg.root, P),
+                       to_physical(q, cfg.root, P), aliased_blocks(dests, cfg.root, P, sch.arena()),
                        false);
     }
   }
@@ -75,7 +76,7 @@ void emit_aliased_dd_reduce_scatter(Schedule& sch, const Config& cfg, size_t ste
         if ((v & low_bits(j)) == 0 && ((v >> j) & 1)) dests.push_back(rel_dest(l, rel, P));
       }
       sch.add_exchange(step0 + static_cast<size_t>(j), to_physical(l, cfg.root, P),
-                       to_physical(q, cfg.root, P), aliased_blocks(dests, cfg.root, P),
+                       to_physical(q, cfg.root, P), aliased_blocks(dests, cfg.root, P, sch.arena()),
                        true);
     }
   }
@@ -103,7 +104,7 @@ Schedule bcast_scatter_allgather_bine(const Config& cfg) {
       const Rank c = core::tree_partner(core::TreeVariant::bine_dd, l, st, P);
       sch.add_exchange(static_cast<size_t>(st), to_physical(l, cfg.root, P),
                        to_physical(c, cfg.root, P),
-                       aliased_blocks(core::dd_subtree_members(c, P), cfg.root, P), false);
+                       aliased_blocks(core::dd_subtree_members(c, P), cfg.root, P, sch.arena()), false);
     }
   }
   // Phase 2: distance-halving Bine allgather over the aliased layout.
@@ -133,7 +134,7 @@ Schedule reduce_rs_gather_bine(const Config& cfg) {
       const Rank c = core::tree_partner(core::TreeVariant::bine_dd, l, st, P);
       const size_t out_step = static_cast<size_t>(s) + static_cast<size_t>(s - 1 - st);
       sch.add_exchange(out_step, to_physical(c, cfg.root, P), to_physical(l, cfg.root, P),
-                       aliased_blocks(core::dd_subtree_members(c, P), cfg.root, P), false);
+                       aliased_blocks(core::dd_subtree_members(c, P), cfg.root, P, sch.arena()), false);
     }
   }
   sch.normalize_steps();

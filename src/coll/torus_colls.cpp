@@ -78,7 +78,7 @@ size_t ring_rs_phase(Schedule& sch, TorusState& st, size_t dim, size_t step0, i6
                        nslices);
       if (ids.empty()) continue;
       sch.add_exchange(step0 + static_cast<size_t>(t), r, to,
-                       sched::blockset_from_ids(ids, sch.nblocks), true);
+                       sched::blockset_from_ids(ids, sch.nblocks, sch.arena()), true);
     }
   }
   for (Rank r = 0; r < st.p; ++r) {
@@ -108,7 +108,7 @@ size_t ring_ag_phase(Schedule& sch, TorusState& st, size_t dim, size_t step0, i6
           slice_filter(cell_of[static_cast<size_t>(owner)], slice, nslices);
       if (ids.empty()) continue;
       sch.add_exchange(step0 + static_cast<size_t>(t), r, to,
-                       sched::blockset_from_ids(ids, sch.nblocks), false);
+                       sched::blockset_from_ids(ids, sch.nblocks, sch.arena()), false);
     }
   }
   for (Rank r = 0; r < st.p; ++r) {
@@ -149,7 +149,7 @@ size_t bine_rs_phase(Schedule& sch, TorusState& st, size_t dim, size_t step0, i6
       }
       if (ids.empty()) continue;
       sch.add_exchange(step0 + static_cast<size_t>(k), r, to,
-                       sched::blockset_from_ids(std::move(ids), sch.nblocks), true);
+                       sched::blockset_from_ids(std::move(ids), sch.nblocks, sch.arena()), true);
     }
   }
   for (Rank r = 0; r < st.p; ++r) {
@@ -187,7 +187,7 @@ size_t bine_ag_phase(Schedule& sch, TorusState& st, size_t dim, size_t step0, i6
       }
       if (ids.empty()) continue;
       sch.add_exchange(step0 + static_cast<size_t>(k), r, to,
-                       sched::blockset_from_ids(std::move(ids), sch.nblocks), false);
+                       sched::blockset_from_ids(std::move(ids), sch.nblocks, sch.arena()), false);
     }
   }
   for (Rank r = 0; r < st.p; ++r) {

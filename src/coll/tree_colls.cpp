@@ -21,7 +21,8 @@ std::string algo_name(const char* coll, TreeVariant v) {
 /// Physical block ids held by the subtree of logical rank `l` (p'-space),
 /// including the blocks of the extra ranks folded onto subtree members during
 /// the non-power-of-two pre-step.
-BlockSet subtree_blocks(TreeVariant v, Rank l, i64 p_prime, i64 extra, Rank root, i64 p) {
+BlockSet subtree_blocks(TreeVariant v, Rank l, i64 p_prime, i64 extra, Rank root, i64 p,
+                        sched::ScheduleArena& arena) {
   const core::CircularInterval iv = core::subtree_interval(v, l, p_prime);
   std::vector<i64> ids;
   ids.reserve(static_cast<size_t>(2 * iv.length));
@@ -30,7 +31,7 @@ BlockSet subtree_blocks(TreeVariant v, Rank l, i64 p_prime, i64 extra, Rank root
     ids.push_back(to_physical(x, root, p));
     if (x < extra) ids.push_back(to_physical(p_prime + x, root, p));
   }
-  return sched::blockset_from_ids(std::move(ids), p);
+  return sched::blockset_from_ids(std::move(ids), p, arena);
 }
 
 /// Single physical block of logical rank `l`.
@@ -110,7 +111,7 @@ Schedule gather_tree(const Config& cfg, TreeVariant v) {
       const size_t out_step = pre + static_cast<size_t>(sp - 1 - st);
       s.add_exchange(out_step, to_physical(child, cfg.root, cfg.p),
                      to_physical(l, cfg.root, cfg.p),
-                     subtree_blocks(v, child, p_prime, extra, cfg.root, cfg.p), false);
+                     subtree_blocks(v, child, p_prime, extra, cfg.root, cfg.p, s.arena()), false);
     }
   }
   s.normalize_steps();
@@ -131,7 +132,7 @@ Schedule scatter_tree(const Config& cfg, TreeVariant v) {
       const Rank child = core::tree_partner(v, l, st, p_prime);
       s.add_exchange(static_cast<size_t>(st), to_physical(l, cfg.root, cfg.p),
                      to_physical(child, cfg.root, cfg.p),
-                     subtree_blocks(v, child, p_prime, extra, cfg.root, cfg.p), false);
+                     subtree_blocks(v, child, p_prime, extra, cfg.root, cfg.p, s.arena()), false);
     }
   }
   for (i64 i = 0; i < extra; ++i)

@@ -1,9 +1,12 @@
 #include "harness/runner.hpp"
 
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <tuple>
 
 #include "harness/parallel.hpp"
+#include "net/simulate.hpp"
 #include "sched/compiled.hpp"
 
 namespace bine::harness {
@@ -27,8 +30,31 @@ std::string size_label(i64 bytes) {
   return std::to_string(bytes) + " B";
 }
 
+namespace {
+
+bool schedule_cache_default() {
+  if (const char* env = std::getenv("BINE_SCHED_CACHE")) {
+    const std::string v(env);
+    if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  }
+  return true;
+}
+
+/// One resident SoA scratch per worker thread, shared by the cached and
+/// uncached paths (the arrays are deliberately kept large to stay above the
+/// mmap threshold; two copies per thread would double that for nothing).
+sched::CompiledSchedule& thread_lowered_scratch() {
+  static thread_local sched::CompiledSchedule lowered;
+  return lowered;
+}
+
+}  // namespace
+
 Runner::Runner(net::SystemProfile profile, bool spread_placement, u64 seed)
-    : profile_(std::move(profile)), spread_placement_(spread_placement), seed_(seed) {}
+    : profile_(std::move(profile)),
+      spread_placement_(spread_placement),
+      seed_(seed),
+      use_schedule_cache_(schedule_cache_default()) {}
 
 Runner::Sized& Runner::sized_for(i64 nodes) {
   const std::scoped_lock lock(cache_mutex_);
@@ -55,19 +81,17 @@ Runner::Sized& Runner::sized_for(i64 nodes) {
   return cache_.emplace(nodes, std::move(sized)).first->second;
 }
 
-RunResult Runner::run([[maybe_unused]] Collective coll, const coll::AlgorithmEntry& algo,
-                      i64 nodes, i64 size_bytes) {
+coll::Config Runner::cell_config(i64 nodes, i64 size_bytes) const {
   coll::Config cfg;
   cfg.p = nodes;
   cfg.elem_size = 4;  // 32-bit integers, as in the paper's methodology
   cfg.elem_count = std::max<i64>(nodes, size_bytes / cfg.elem_size);
   cfg.torus_dims = torus_dims;
-  const sched::Schedule sch = algo.make(cfg);
-  Sized& sized = sized_for(nodes);
-  // Per-worker scratch: lowering into resident arrays avoids re-mmapping the
-  // SoA storage for every cell of a sweep.
-  static thread_local sched::CompiledSchedule lowered;
-  sched::CompiledSchedule::lower_into(sch, lowered);
+  return cfg;
+}
+
+RunResult Runner::simulate_lowered(const sched::CompiledSchedule& lowered,
+                                   Sized& sized) const {
   const net::SimResult sim = net::simulate(lowered, *sized.routes, profile_.cost);
   RunResult out;
   out.seconds = sim.seconds;
@@ -75,6 +99,46 @@ RunResult Runner::run([[maybe_unused]] Collective coll, const coll::AlgorithmEnt
   out.total_bytes = sim.traffic.total();
   out.steps = sim.steps;
   return out;
+}
+
+RunResult Runner::run(Collective coll, const coll::AlgorithmEntry& algo, i64 nodes,
+                      i64 size_bytes) {
+  // Per-worker scratch: lowering/resolving into resident arrays avoids
+  // re-mmapping the SoA storage for every cell of a sweep.
+  sched::CompiledSchedule& lowered = thread_lowered_scratch();
+  if (use_schedule_cache_) {
+    const coll::Config cfg = cell_config(nodes, size_bytes);
+    sched::ScheduleKey key;
+    key.coll = coll;
+    key.algorithm = algo.name;
+    key.p = nodes;
+    key.root = cfg.root;
+    key.torus_dims = cfg.torus_dims;
+    const auto entry = sched_cache_.get(key, [&](i64 canonical_elems) {
+      // Called at the cache's two canonical verification sizes on a miss.
+      coll::Config build_cfg = cfg;
+      build_cfg.elem_count = canonical_elems;
+      return algo.make(build_cfg);
+    });
+    if (entry->size_independent) {
+      Sized& sized = sized_for(nodes);
+      entry->resolve_into(cfg.elem_count, cfg.elem_size, lowered);
+      return simulate_lowered(lowered, sized);
+    }
+    // Verification demoted this algorithm: fall through to fresh generation.
+  }
+  return run_uncached(coll, algo, nodes, size_bytes);
+}
+
+RunResult Runner::run_uncached([[maybe_unused]] Collective coll,
+                               const coll::AlgorithmEntry& algo, i64 nodes,
+                               i64 size_bytes) {
+  const coll::Config cfg = cell_config(nodes, size_bytes);
+  const sched::Schedule sch = algo.make(cfg);
+  Sized& sized = sized_for(nodes);
+  sched::CompiledSchedule& lowered = thread_lowered_scratch();
+  sched::CompiledSchedule::lower_into(sch, lowered);
+  return simulate_lowered(lowered, sized);
 }
 
 std::pair<std::string, RunResult> Runner::best_of(Collective coll,
@@ -92,38 +156,38 @@ std::pair<std::string, RunResult> Runner::best_of(Collective coll,
   return best;
 }
 
-std::pair<std::string, RunResult> Runner::best_bine(Collective coll, i64 nodes,
-                                                    i64 size_bytes, bool contiguous_only) {
+std::vector<std::string> Runner::bine_names(Collective coll, bool contiguous_only) const {
   std::vector<std::string> names;
   for (const auto& entry : coll::algorithms_for(coll)) {
     if (!entry.is_bine || entry.specialized) continue;
     if (contiguous_only && (entry.name == "bine_block")) continue;
     names.push_back(entry.name);
   }
-  return best_of(coll, names, nodes, size_bytes);
+  return names;
+}
+
+std::vector<std::string> Runner::binomial_names(Collective coll) const {
+  switch (coll) {
+    case Collective::bcast: return {"binomial", "binomial_dh", "scatter_allgather"};
+    case Collective::reduce: return {"binomial", "binomial_dh", "rs_gather"};
+    case Collective::gather:
+    case Collective::scatter: return {"binomial"};
+    case Collective::allgather: return {"recursive_doubling"};
+    case Collective::reduce_scatter: return {"recursive_halving"};
+    case Collective::allreduce: return {"recursive_doubling", "rabenseifner"};
+    case Collective::alltoall: return {"bruck"};
+  }
+  throw std::logic_error("unknown collective");
+}
+
+std::pair<std::string, RunResult> Runner::best_bine(Collective coll, i64 nodes,
+                                                    i64 size_bytes, bool contiguous_only) {
+  return best_of(coll, bine_names(coll, contiguous_only), nodes, size_bytes);
 }
 
 std::pair<std::string, RunResult> Runner::best_binomial(Collective coll, i64 nodes,
                                                         i64 size_bytes) {
-  switch (coll) {
-    case Collective::bcast:
-      return best_of(coll, {"binomial", "binomial_dh", "scatter_allgather"}, nodes,
-                     size_bytes);
-    case Collective::reduce:
-      return best_of(coll, {"binomial", "binomial_dh", "rs_gather"}, nodes, size_bytes);
-    case Collective::gather:
-    case Collective::scatter:
-      return best_of(coll, {"binomial"}, nodes, size_bytes);
-    case Collective::allgather:
-      return best_of(coll, {"recursive_doubling"}, nodes, size_bytes);
-    case Collective::reduce_scatter:
-      return best_of(coll, {"recursive_halving"}, nodes, size_bytes);
-    case Collective::allreduce:
-      return best_of(coll, {"recursive_doubling", "rabenseifner"}, nodes, size_bytes);
-    case Collective::alltoall:
-      return best_of(coll, {"bruck"}, nodes, size_bytes);
-  }
-  throw std::logic_error("unknown collective");
+  return best_of(coll, binomial_names(coll), nodes, size_bytes);
 }
 
 std::vector<std::pair<std::string, RunResult>> Runner::sweep(
@@ -132,23 +196,76 @@ std::vector<std::pair<std::string, RunResult>> Runner::sweep(
   // cells, not for building the same topology/route table under the lock.
   for (const SweepQuery& q : queries) (void)sized_for(q.nodes);
 
+  const auto names_for = [&](const SweepQuery& q) {
+    switch (q.kind) {
+      case SweepQuery::Kind::bine: return bine_names(q.coll, q.contiguous_only);
+      case SweepQuery::Kind::binomial: return binomial_names(q.coll);
+      case SweepQuery::Kind::sota: return sota_names(q.coll);
+    }
+    throw std::logic_error("unknown sweep kind");
+  };
+
+  // Batch all queries of one (collective, nodes, size) cell -- typically the
+  // bine/binomial/sota rows of one table column -- into a single work item
+  // evaluating the union of their candidate algorithms exactly once. This
+  // kills the generation duplication between best_bine/best_binomial (their
+  // baseline families overlap with the sota set) and gives the schedule
+  // cache a deterministic access pattern regardless of thread count.
+  struct Cell {
+    Collective coll{};
+    i64 nodes = 0;
+    i64 size_bytes = 0;
+    std::vector<size_t> query_indices;
+    std::vector<std::string> names;  ///< union of candidates, first-use order
+    /// Per query (parallel to query_indices): its candidates as indices into
+    /// `names`, in the query's own selection order -- resolved once here so
+    /// workers neither rescan the registry nor search names by string.
+    std::vector<std::vector<size_t>> query_candidates;
+  };
+  std::vector<Cell> cells;
+  std::map<std::tuple<int, i64, i64>, size_t> cell_index;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const SweepQuery& q = queries[i];
+    const auto key = std::make_tuple(static_cast<int>(q.coll), q.nodes, q.size_bytes);
+    auto [it, inserted] = cell_index.emplace(key, cells.size());
+    if (inserted) cells.push_back(Cell{q.coll, q.nodes, q.size_bytes, {}, {}, {}});
+    Cell& cell = cells[it->second];
+    cell.query_indices.push_back(i);
+    std::vector<size_t> candidates;
+    for (std::string& name : names_for(q)) {
+      auto pos = std::find(cell.names.begin(), cell.names.end(), name);
+      if (pos == cell.names.end()) {
+        cell.names.push_back(std::move(name));
+        pos = cell.names.end() - 1;
+      }
+      candidates.push_back(static_cast<size_t>(pos - cell.names.begin()));
+    }
+    cell.query_candidates.push_back(std::move(candidates));
+  }
+
   std::vector<std::pair<std::string, RunResult>> results(queries.size());
   parallel_for(
-      static_cast<i64>(queries.size()),
-      [&](i64 i) {
-        const SweepQuery& q = queries[static_cast<size_t>(i)];
-        switch (q.kind) {
-          case SweepQuery::Kind::bine:
-            results[static_cast<size_t>(i)] =
-                best_bine(q.coll, q.nodes, q.size_bytes, q.contiguous_only);
-            break;
-          case SweepQuery::Kind::binomial:
-            results[static_cast<size_t>(i)] = best_binomial(q.coll, q.nodes, q.size_bytes);
-            break;
-          case SweepQuery::Kind::sota:
-            results[static_cast<size_t>(i)] =
-                best_of(q.coll, sota_names(q.coll), q.nodes, q.size_bytes);
-            break;
+      static_cast<i64>(cells.size()),
+      [&](i64 ci) {
+        const Cell& cell = cells[static_cast<size_t>(ci)];
+        // One evaluation per candidate; nullopt = skipped (rank-count gate).
+        std::vector<std::optional<RunResult>> evaluated(cell.names.size());
+        for (size_t k = 0; k < cell.names.size(); ++k) {
+          const auto& entry = coll::find_algorithm(cell.coll, cell.names[k]);
+          if (entry.pow2_only && !is_pow2(cell.nodes)) continue;
+          evaluated[k] = run(cell.coll, entry, cell.nodes, cell.size_bytes);
+        }
+        // Answer each query by minimizing over its own candidate list in its
+        // own order -- the exact selection (and tie-breaking) best_of runs.
+        for (size_t v = 0; v < cell.query_indices.size(); ++v) {
+          std::pair<std::string, RunResult> best{"", {}};
+          best.second.seconds = std::numeric_limits<double>::infinity();
+          for (const size_t k : cell.query_candidates[v]) {
+            const auto& r = evaluated[k];
+            if (r && r->seconds < best.second.seconds) best = {cell.names[k], *r};
+          }
+          if (best.first.empty()) throw std::runtime_error("no applicable algorithm");
+          results[cell.query_indices[v]] = std::move(best);
         }
       },
       threads);

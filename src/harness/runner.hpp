@@ -12,13 +12,14 @@
 #include "coll/registry.hpp"
 #include "net/profiles.hpp"
 #include "net/route_cache.hpp"
+#include "sched/schedule_cache.hpp"
 
 /// Evaluation driver (the stand-in for the paper's PICO framework): runs a
 /// (system, collective, algorithm, nodes, vector size) combination through
-/// the simulator, caching topologies, placements, and compiled route tables
-/// across the sweep. Each cell is a pure function of its inputs, so `sweep`
-/// fans independent cells out over a thread pool with deterministic,
-/// index-addressed results.
+/// the simulator, caching topologies, placements, compiled route tables AND
+/// size-free compiled schedules across the sweep. Each cell is a pure
+/// function of its inputs, so `sweep` fans independent cells out over a
+/// thread pool with deterministic, index-addressed results.
 namespace bine::harness {
 
 struct RunResult {
@@ -60,8 +61,25 @@ class Runner {
   [[nodiscard]] const net::SystemProfile& profile() const { return profile_; }
 
   /// Simulate one algorithm; `size_bytes` is the collective's vector size.
+  /// Uses the schedule cache (below) unless disabled.
   [[nodiscard]] RunResult run(sched::Collective coll, const coll::AlgorithmEntry& algo,
                               i64 nodes, i64 size_bytes);
+
+  /// The always-fresh path: generate, lower, simulate -- no schedule cache.
+  /// Retained as the parity oracle; must agree bit-exactly with `run`.
+  [[nodiscard]] RunResult run_uncached(sched::Collective coll,
+                                       const coll::AlgorithmEntry& algo, i64 nodes,
+                                       i64 size_bytes);
+
+  /// Toggle the size-independent schedule cache (default: on, unless the
+  /// BINE_SCHED_CACHE environment variable is set to 0). The cached and
+  /// uncached paths are bit-exact; the toggle exists for benchmarking and
+  /// the parity suite.
+  void set_schedule_cache(bool enabled) { use_schedule_cache_ = enabled; }
+  [[nodiscard]] bool schedule_cache_enabled() const { return use_schedule_cache_; }
+  [[nodiscard]] sched::ScheduleCache::Stats schedule_cache_stats() const {
+    return sched_cache_.stats();
+  }
 
   /// Torus shape handed to the Appendix D generators (empty = near-cubic).
   std::vector<i64> torus_dims;
@@ -86,14 +104,24 @@ class Runner {
   [[nodiscard]] std::pair<std::string, RunResult> best_binomial(sched::Collective coll,
                                                                 i64 nodes, i64 size_bytes);
 
+  /// Algorithm name lists behind the best_* selectors, exposed so the
+  /// batched sweep evaluates exactly the same candidates in the same order.
+  [[nodiscard]] std::vector<std::string> bine_names(sched::Collective coll,
+                                                    bool contiguous_only) const;
+  [[nodiscard]] std::vector<std::string> binomial_names(sched::Collective coll) const;
   /// All non-Bine algorithms registered for the collective.
   [[nodiscard]] std::vector<std::string> sota_names(sched::Collective coll) const;
 
-  /// Evaluate every query, fanning the independent cells out over at most
-  /// `threads` workers (<= 0 = harness::default_thread_count()). Results are
-  /// index-addressed (results[i] answers queries[i]) and every cell is a
-  /// pure function of its query, so the returned vector -- and anything
-  /// printed from it in order -- is byte-identical for any thread count.
+  /// Evaluate every query, fanning independent *cells* out over at most
+  /// `threads` workers (<= 0 = harness::default_thread_count()). All queries
+  /// sharing one (collective, nodes, size) cell -- e.g. the bine / binomial /
+  /// sota rows of one table column -- are batched into a single work item
+  /// that evaluates each candidate algorithm exactly once, instead of once
+  /// per query kind. Results are index-addressed (results[i] answers
+  /// queries[i]) and every cell is a pure function of its query, so the
+  /// returned vector -- and anything printed from it in order -- is
+  /// byte-identical for any thread count, with or without the schedule
+  /// cache.
   [[nodiscard]] std::vector<std::pair<std::string, RunResult>> sweep(
       const std::vector<SweepQuery>& queries, i64 threads = 0);
 
@@ -107,11 +135,18 @@ class Runner {
   /// returned reference is stable (map nodes never move).
   Sized& sized_for(i64 nodes);
 
+  /// Simulation config for one cell (shared by cached and uncached paths).
+  [[nodiscard]] coll::Config cell_config(i64 nodes, i64 size_bytes) const;
+  [[nodiscard]] RunResult simulate_lowered(const sched::CompiledSchedule& lowered,
+                                           Sized& sized) const;
+
   net::SystemProfile profile_;
   bool spread_placement_;
   u64 seed_;
   std::mutex cache_mutex_;
   std::map<i64, Sized> cache_;
+  bool use_schedule_cache_ = true;
+  sched::ScheduleCache sched_cache_;
 };
 
 }  // namespace bine::harness

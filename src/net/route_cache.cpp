@@ -2,15 +2,42 @@
 
 namespace bine::net {
 
+namespace {
+
+void compile_links(const Topology& topo, std::vector<double>& inv_bandwidth,
+                   std::vector<LinkClass>& link_class) {
+  const auto& links = topo.links();
+  inv_bandwidth.reserve(links.size());
+  link_class.reserve(links.size());
+  for (const Link& l : links) {
+    inv_bandwidth.push_back(1.0 / l.bandwidth);
+    link_class.push_back(l.cls);
+  }
+}
+
+}  // namespace
+
+void RouteCache::route_one(const Topology& topo, const Placement& pl, Rank s, Rank d,
+                           std::vector<i64>& path_scratch) {
+  path_scratch.clear();
+  topo.route(pl.node_of_rank[static_cast<size_t>(s)],
+             pl.node_of_rank[static_cast<size_t>(d)], path_scratch);
+  ClassHops h;
+  for (const i64 link : path_scratch) {
+    switch (link_class_[static_cast<size_t>(link)]) {
+      case LinkClass::local: ++h.local; break;
+      case LinkClass::global: ++h.global; break;
+      case LinkClass::intra_node: ++h.intra_node; break;
+    }
+  }
+  links_.insert(links_.end(), path_scratch.begin(), path_scratch.end());
+  offsets_.push_back(links_.size());
+  hops_.push_back(h);
+}
+
 RouteCache::RouteCache(const Topology& topo, const Placement& pl)
     : p_(static_cast<i64>(pl.node_of_rank.size())) {
-  const auto& links = topo.links();
-  inv_bandwidth_.reserve(links.size());
-  link_class_.reserve(links.size());
-  for (const Link& l : links) {
-    inv_bandwidth_.push_back(1.0 / l.bandwidth);
-    link_class_.push_back(l.cls);
-  }
+  compile_links(topo, inv_bandwidth_, link_class_);
 
   const size_t pairs = static_cast<size_t>(p_) * static_cast<size_t>(p_);
   offsets_.reserve(pairs + 1);
@@ -22,22 +49,29 @@ RouteCache::RouteCache(const Topology& topo, const Placement& pl)
   // after warm-up.
   std::vector<i64> path;
   for (Rank s = 0; s < p_; ++s)
-    for (Rank d = 0; d < p_; ++d) {
-      path.clear();
-      topo.route(pl.node_of_rank[static_cast<size_t>(s)],
-                 pl.node_of_rank[static_cast<size_t>(d)], path);
-      ClassHops h;
-      for (const i64 link : path) {
-        switch (link_class_[static_cast<size_t>(link)]) {
-          case LinkClass::local: ++h.local; break;
-          case LinkClass::global: ++h.global; break;
-          case LinkClass::intra_node: ++h.intra_node; break;
-        }
-      }
-      links_.insert(links_.end(), path.begin(), path.end());
-      offsets_.push_back(links_.size());
-      hops_.push_back(h);
-    }
+    for (Rank d = 0; d < p_; ++d) route_one(topo, pl, s, d, path);
+}
+
+RouteCache::RouteCache(const Topology& topo, const Placement& pl,
+                       std::span<const std::pair<Rank, Rank>> pairs)
+    : p_(static_cast<i64>(pl.node_of_rank.size())), scoped_(true) {
+  compile_links(topo, inv_bandwidth_, link_class_);
+
+  // Slots follow the sorted distinct pair table; everything -- routing time,
+  // CSR storage, hop table -- is O(#pairs), never O(p^2).
+  scoped_keys_.assign(pairs.begin(), pairs.end());
+  std::sort(scoped_keys_.begin(), scoped_keys_.end());
+  scoped_keys_.erase(std::unique(scoped_keys_.begin(), scoped_keys_.end()),
+                     scoped_keys_.end());
+
+  offsets_.reserve(scoped_keys_.size() + 1);
+  offsets_.push_back(0);
+  hops_.reserve(scoped_keys_.size());
+  std::vector<i64> path;
+  for (const auto& [s, d] : scoped_keys_) {
+    assert(s >= 0 && s < p_ && d >= 0 && d < p_);
+    route_one(topo, pl, s, d, path);
+  }
 }
 
 }  // namespace bine::net

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
@@ -25,6 +27,20 @@
 ///   * flat per-link `LinkClass` and inverse-bandwidth arrays, so the
 ///     simulator's inner loop multiplies instead of dividing and never
 ///     touches the `Link` structs through the topology.
+///
+/// Two build modes:
+///
+///   * *eager* (the 2-arg constructor): every ordered rank pair is routed up
+///     front. The right choice for sweeps, where one cache serves hundreds
+///     of schedules and the hot path must stay branch-free.
+///   * *scoped* (the pair-list constructor): only the listed pairs are
+///     routed and stored -- time AND memory are O(#pairs), with a sorted
+///     pair table looked up by binary search on access (unlisted pairs
+///     assert in debug builds). A schedule touches O(p log p) of the p^2
+///     pairs, so the one-off `measure_traffic`/`simulate` conveniences
+///     scope the build to the schedule's send pairs and skip almost the
+///     entire eager cost -- including the quadratic table allocation -- on
+///     large rank counts.
 namespace bine::net {
 
 /// Rank -> node placement. Identity (one rank per node, block order) unless
@@ -48,11 +64,23 @@ class RouteCache {
     std::int32_t intra_node = 0;
   };
 
+  /// Eager build: routes all p^2 ordered pairs.
   RouteCache(const Topology& topo, const Placement& pl);
+
+  /// Scoped build: routes only the ordered (src, dst) pairs in `pairs`
+  /// (duplicates tolerated). Accessing an unlisted pair is undefined
+  /// (asserts in debug builds).
+  RouteCache(const Topology& topo, const Placement& pl,
+             std::span<const std::pair<Rank, Rank>> pairs);
 
   [[nodiscard]] i64 num_ranks() const noexcept { return p_; }
   [[nodiscard]] i64 num_links() const noexcept {
     return static_cast<i64>(inv_bandwidth_.size());
+  }
+
+  /// True when (src, dst) was routed at build time (always, for eager).
+  [[nodiscard]] bool routed(Rank src, Rank dst) const noexcept {
+    return !scoped_ || scoped_index(src, dst) != kNotRouted;
   }
 
   /// Link ids of the minimal route between the nodes hosting `src` and `dst`
@@ -67,7 +95,7 @@ class RouteCache {
   }
 
   [[nodiscard]] bool crosses_global(Rank src, Rank dst) const noexcept {
-    return hops_[pair(src, dst)].global > 0;
+    return hops(src, dst).global > 0;
   }
 
   /// 1 / link bandwidth, indexed by link id (multiplying beats dividing in
@@ -81,18 +109,41 @@ class RouteCache {
   }
 
  private:
+  static constexpr size_t kNotRouted = static_cast<size_t>(-1);
+
+  /// Slot of (src, dst) in offsets_/hops_: direct src*p + dst for eager,
+  /// binary search over the sorted pair table for scoped.
   [[nodiscard]] size_t pair(Rank src, Rank dst) const noexcept {
     assert(src >= 0 && src < p_ && dst >= 0 && dst < p_);
-    return static_cast<size_t>(src) * static_cast<size_t>(p_) +
-           static_cast<size_t>(dst);
+    if (!scoped_)
+      return static_cast<size_t>(src) * static_cast<size_t>(p_) +
+             static_cast<size_t>(dst);
+    const size_t k = scoped_index(src, dst);
+    assert(k != kNotRouted && "pair outside this scoped RouteCache's build");
+    return k;
   }
 
+  [[nodiscard]] size_t scoped_index(Rank src, Rank dst) const noexcept {
+    const std::pair<Rank, Rank> key{src, dst};
+    const auto it = std::lower_bound(scoped_keys_.begin(), scoped_keys_.end(), key);
+    if (it == scoped_keys_.end() || *it != key) return kNotRouted;
+    return static_cast<size_t>(it - scoped_keys_.begin());
+  }
+
+  void route_one(const Topology& topo, const Placement& pl, Rank s, Rank d,
+                 std::vector<i64>& path_scratch);
+
   i64 p_ = 0;
-  std::vector<size_t> offsets_;  ///< CSR offsets, size p*p + 1
+  std::vector<size_t> offsets_;  ///< CSR offsets, one slot per stored pair + 1
   std::vector<i64> links_;       ///< concatenated per-pair link ids
-  std::vector<ClassHops> hops_;  ///< per ordered rank pair
+  std::vector<ClassHops> hops_;  ///< per stored pair
   std::vector<double> inv_bandwidth_;  ///< per link id
   std::vector<LinkClass> link_class_;  ///< per link id
+  /// Scoped build? (An explicit flag: a scoped build with an empty pair
+  /// list -- a schedule with no sends -- must not masquerade as eager.)
+  bool scoped_ = false;
+  /// Sorted distinct pairs of a scoped build; slots follow this table.
+  std::vector<std::pair<Rank, Rank>> scoped_keys_;
 };
 
 }  // namespace bine::net

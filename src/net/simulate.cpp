@@ -213,14 +213,32 @@ SimResult simulate(const sched::CompiledSchedule& cs, const RouteCache& rc,
 
 // --- Schedule-level conveniences -----------------------------------------------
 
+namespace {
+
+/// Ordered rank pairs the cost model will query for `cs`: the (rank, peer)
+/// of every send. A schedule touches O(p log p) of the p^2 pairs, so scoping
+/// the route build to this list is what makes the one-off conveniences cheap
+/// on large rank counts (sweeps keep the eager build; see harness::Runner).
+std::vector<std::pair<Rank, Rank>> send_pairs(const sched::CompiledSchedule& cs) {
+  std::vector<std::pair<Rank, Rank>> pairs;
+  pairs.reserve(cs.num_ops());
+  for (size_t i = 0; i < cs.num_ops(); ++i)
+    if (cs.kind[i] == sched::OpKind::send) pairs.emplace_back(cs.rank[i], cs.peer[i]);
+  return pairs;  // RouteCache's scoped constructor sorts and dedups
+}
+
+}  // namespace
+
 TrafficStats measure_traffic(const sched::Schedule& sch, const Topology& topo,
                              const Placement& pl) {
-  return measure_traffic(sched::CompiledSchedule::lower(sch), RouteCache(topo, pl));
+  const sched::CompiledSchedule cs = sched::CompiledSchedule::lower(sch);
+  return measure_traffic(cs, RouteCache(topo, pl, send_pairs(cs)));
 }
 
 SimResult simulate(const sched::Schedule& sch, const Topology& topo, const Placement& pl,
                    const CostParams& cp) {
-  return simulate(sched::CompiledSchedule::lower(sch), RouteCache(topo, pl), cp);
+  const sched::CompiledSchedule cs = sched::CompiledSchedule::lower(sch);
+  return simulate(cs, RouteCache(topo, pl, send_pairs(cs)), cp);
 }
 
 i64 inter_group_bytes(const sched::Schedule& sch, std::span<const i64> group_of_rank) {

@@ -22,29 +22,23 @@ void CompiledSchedule::lower_into(const Schedule& s, CompiledSchedule& out) {
   out.step_begin.reserve(out.steps + 1);
   out.step_begin.push_back(0);
 
-  // Step-major fill: the traversal order IS the output order, so every array
-  // is written sequentially with one cursor. Iterating ranks in increasing
-  // order inside a step keeps ops grouped by rank and in original per-rank
-  // op order -- the engine's overhead accumulator and the float-level parity
-  // with the reference engine both rely on this.
+  // Step-major fill via the shared lowering-order visitor: the traversal
+  // order IS the output order, so every array is written sequentially with
+  // one cursor. Rank grouping and per-rank op order are what the engine's
+  // overhead accumulator and the float-level parity with the reference
+  // engine rely on.
   std::uint32_t i = 0;
-  for (size_t t = 0; t < out.steps; ++t) {
-    for (Rank r = 0; r < s.p; ++r) {
-      const auto& rank_steps = s.steps[static_cast<size_t>(r)];
-      if (t >= rank_steps.size()) continue;  // ragged rank: no ops this step
-      for (const Op& op : rank_steps[t].ops) {
-        if (op.kind == OpKind::recv) continue;  // cost-free in the model
+  for_each_lowered_op(
+      s, out.steps,
+      [&](Rank r, const Op& op) {
         out.kind[i] = op.kind;
         out.rank[i] = static_cast<std::int32_t>(r);
         out.peer[i] = static_cast<std::int32_t>(op.peer);
         out.bytes[i] = op.bytes;
-        out.extra_segments[i] =
-            static_cast<std::int32_t>(std::max<i64>(0, op.segments - 1));
+        out.extra_segments[i] = lowered_extra_segments(op);
         ++i;
-      }
-    }
-    out.step_begin.push_back(i);
-  }
+      },
+      [&](size_t) { out.step_begin.push_back(i); });
   out.kind.resize(i);
   out.rank.resize(i);
   out.peer.resize(i);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +28,11 @@
 /// Lowering costs one traversal of the schedule and is amortized across the
 /// simulator's per-step work; `net::simulate`/`net::measure_traffic` consume
 /// this IR together with a `net::RouteCache` (see route_cache.hpp).
+///
+/// Sweeps rarely call `lower` at all any more: sched::ScheduleCache
+/// (schedule_cache.hpp) memoizes the size-independent part of this IR per
+/// (algorithm, collective, p, knobs) and re-materializes the `bytes` column
+/// per message size, skipping generation and lowering for every cache hit.
 namespace bine::sched {
 
 struct CompiledSchedule {
@@ -55,5 +61,32 @@ struct CompiledSchedule {
   /// CompiledSchedule per worker and the arrays stay resident.
   static void lower_into(const Schedule& s, CompiledSchedule& out);
 };
+
+/// The one definition of lowering order, shared by CompiledSchedule::lower_into
+/// and SizeFreeSchedule::from (whose cached IR must be indistinguishable from
+/// a fresh lower): step-major, ranks increasing within a step, original
+/// per-rank op order, plain recvs dropped (cost-free in the model), ragged
+/// ranks contributing nothing past their last step. Calls `op(rank, o)` per
+/// kept op and `step_end(t)` after each step.
+template <class OpFn, class StepEndFn>
+void for_each_lowered_op(const Schedule& s, size_t steps, OpFn&& op,
+                         StepEndFn&& step_end) {
+  for (size_t t = 0; t < steps; ++t) {
+    for (Rank r = 0; r < s.p; ++r) {
+      const auto& rank_steps = s.steps[static_cast<size_t>(r)];
+      if (t >= rank_steps.size()) continue;
+      for (const Op& o : rank_steps[t].ops) {
+        if (o.kind == OpKind::recv) continue;
+        op(r, o);
+      }
+    }
+    step_end(t);
+  }
+}
+
+/// The `extra_segments` column's formula, in one place for the same reason.
+[[nodiscard]] inline std::int32_t lowered_extra_segments(const Op& op) noexcept {
+  return static_cast<std::int32_t>(std::max<i64>(0, op.segments - 1));
+}
 
 }  // namespace bine::sched

@@ -6,28 +6,35 @@
 
 namespace bine::sched {
 
-BlockSet blockset_from_ids(std::vector<i64> ids, i64 B) {
-  BlockSet out;
-  if (ids.empty()) return out;
+BlockSet blockset_from_ids(std::vector<i64> ids, i64 B, ScheduleArena& arena) {
+  if (ids.empty()) return {};
   std::sort(ids.begin(), ids.end());
   assert(std::adjacent_find(ids.begin(), ids.end()) == ids.end() && "ids must be distinct");
+
+  // Coalesce into a per-thread scratch; the final ranges are interned into
+  // the arena (or stored inline) so this function allocates only while the
+  // scratch warms up.
+  static thread_local std::vector<BlockRange> scratch;
+  scratch.clear();
   BlockRange cur{ids.front(), 1};
   for (size_t k = 1; k < ids.size(); ++k) {
     if (ids[k] == cur.begin + cur.count) {
       ++cur.count;
     } else {
-      out.ranges.push_back(cur);
+      scratch.push_back(cur);
       cur = BlockRange{ids[k], 1};
     }
   }
-  out.ranges.push_back(cur);
-  // Join circularly: a run ending at B-1 glues onto a run starting at 0.
-  if (out.ranges.size() > 1 && out.ranges.front().begin == 0 &&
-      out.ranges.back().begin + out.ranges.back().count == B) {
-    out.ranges.back().count += out.ranges.front().count;
-    out.ranges.erase(out.ranges.begin());
+  scratch.push_back(cur);
+  // Join circularly: a run ending at B-1 glues onto a run starting at 0,
+  // forming one wrapped range (begin + count > B). Sorted input means the
+  // 0-run can only be first and the B-ending run only last.
+  if (scratch.size() > 1 && scratch.front().begin == 0 &&
+      scratch.back().begin + scratch.back().count == B) {
+    scratch.back().count += scratch.front().count;
+    scratch.erase(scratch.begin());
   }
-  return out;
+  return BlockSet::from_ranges(scratch, arena);
 }
 
 void Schedule::add_exchange(size_t step, Rank from, Rank to, BlockSet blocks, bool reduce,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,23 @@
 ///     representation below into flat structure-of-arrays form once per
 ///     simulation. This type stays optimized for *generation* (per-rank
 ///     append, BlockSet bookkeeping); the IR is what the hot loop consumes.
+///
+/// Size independence: the *structure* of every schedule -- steps, peers,
+/// block sets, segment counts -- is a pure function of (algorithm, p, root,
+/// torus_dims). `elem_count`/`elem_size` only scale the per-op byte counts,
+/// via `bytes_of`'s block arithmetic. sched::ScheduleCache (schedule_cache.hpp)
+/// exploits this invariant: one cached structure serves every message size of
+/// a sweep, with bytes re-resolved per size by the same arithmetic. Keep
+/// generators size-oblivious (never branch on elem_count): the cache
+/// cross-checks structure at two widely separated canonical sizes and
+/// demotes mismatches to the uncached path, but a branch that only triggers
+/// beyond the large probe (~256 MiB vectors) would defeat it.
+///
+/// Block-range storage lives in a per-schedule ScheduleArena (blocks.hpp):
+/// `Op::blocks` values point into it (or hold tiny sets inline), so the
+/// schedule must not outlive its arena -- which `arena_` guarantees for the
+/// normal value-semantics usage, including splicing via coll::sequence
+/// (which retains the donor arena).
 namespace bine::sched {
 
 enum class Collective {
@@ -131,6 +149,31 @@ struct Schedule {
   /// with the same blocks/bytes, peers are in range, block ids valid.
   /// Returns an empty string when valid, else a description of the problem.
   [[nodiscard]] std::string validate() const;
+
+  /// Arena backing this schedule's BlockSet range storage (created lazily;
+  /// shared so copies of the schedule keep the spans alive).
+  [[nodiscard]] ScheduleArena& arena() {
+    if (!arena_) arena_ = std::make_shared<ScheduleArena>();
+    return *arena_;
+  }
+  [[nodiscard]] std::shared_ptr<const ScheduleArena> arena_handle() const {
+    return arena_;
+  }
+  /// Keep `donor`'s arena alive: required before splicing its ops in.
+  /// Rebases this schedule onto a fresh arena that retains both the previous
+  /// one and the donor's, so an arena shared with another schedule (e.g.
+  /// after copy) is never mutated and retention edges always point from
+  /// newer arenas to older ones -- no cycles, no unbounded growth of a
+  /// long-lived base schedule's arena.
+  void retain_arena_of(const Schedule& donor) {
+    auto fresh = std::make_shared<ScheduleArena>();
+    fresh->retain(std::move(arena_));
+    fresh->retain(donor.arena_);
+    arena_ = std::move(fresh);
+  }
+
+ private:
+  std::shared_ptr<ScheduleArena> arena_;
 };
 
 }  // namespace bine::sched

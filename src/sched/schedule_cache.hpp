@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/compiled.hpp"
+#include "sched/schedule.hpp"
+
+/// Size-independent schedule memoization: the generation fast path.
+///
+/// Schedule *structure* -- steps, peers, block sets, segment counts -- is a
+/// pure function of (algorithm, collective, p, root, torus_dims); message
+/// size only scales per-op byte counts through `Schedule::bytes_of`'s block
+/// arithmetic (see the invariant note in schedule.hpp). The evaluation grids
+/// exploit none of that when every (collective, algorithm, nodes, size) cell
+/// regenerates its BlockSet-heavy schedule from scratch, and with the
+/// simulator compiled (PR 1) generation dominates sweep wall time.
+///
+/// `SizeFreeSchedule` is the memoized artifact: CompiledSchedule's flat SoA
+/// op stream with the byte column *abstracted* -- each op instead carries its
+/// block ranges (CSR into one owned array) or a full-vector marker, so
+/// `resolve_into` can materialize the concrete CompiledSchedule for any
+/// (elem_count, elem_size) in one linear pass. One cached entry therefore
+/// serves an entire message-size sweep.
+///
+/// Safety over faith, two layers:
+///
+///   * `from()` verifies that re-deriving every op's bytes from its blocks
+///     reproduces the generator's baked bytes exactly; any op that fails
+///     (e.g. a coarse-mode schedule carrying bytes without blocks, or a
+///     local op moving something other than the full vector) marks the
+///     entry `size_independent = false`.
+///   * `ScheduleCache::get` builds the schedule at TWO canonical element
+///     counts -- one tiny, one ~256 MiB-vector sized, chosen with different
+///     divisibility patterns -- and demotes the entry unless the resulting
+///     size-free structures are identical. A generator whose *structure*
+///     branches on elem_count (a size-threshold algorithm switch, a
+///     parity-dependent segmentation) is caught unless it branches only
+///     beyond the large probe.
+///
+/// Demoted entries make callers (harness::Runner) fall back to fresh
+/// generation for that algorithm. For entries that pass, resolution at any
+/// size runs the *same* integer arithmetic `add_exchange` would, so cached
+/// and uncached paths are bit-exact -- which the parity tests assert.
+namespace bine::sched {
+
+/// Size-independent compiled form of one schedule (see file comment).
+struct SizeFreeSchedule {
+  i64 p = 0;
+  i64 nblocks = 0;
+  BlockSpace space = BlockSpace::per_vector;
+  size_t steps = 0;
+  /// False when build-time verification failed; resolve_into must not be
+  /// used (callers fall back to fresh generation).
+  bool size_independent = true;
+
+  /// CSR over the op arrays: ops of step t are [step_begin[t], step_begin[t+1]).
+  std::vector<std::uint32_t> step_begin;
+
+  // One entry per op, in CompiledSchedule order (plain recvs dropped).
+  std::vector<OpKind> kind;
+  std::vector<std::int32_t> rank;
+  std::vector<std::int32_t> peer;
+  std::vector<std::int32_t> extra_segments;
+
+  /// Byte resolution: op i covers ranges [block_begin[i], block_begin[i+1])
+  /// of `ranges` -- an owned copy, so entries outlive generator arenas --
+  /// unless full_vector[i], in which case it covers the whole vector
+  /// (the only byte pattern local_perm ops use).
+  std::vector<std::uint32_t> block_begin;
+  std::vector<BlockRange> ranges;
+  std::vector<std::uint8_t> full_vector;
+
+  [[nodiscard]] size_t num_ops() const noexcept { return kind.size(); }
+
+  /// Compile `s` into size-free form, verifying byte resolvability against
+  /// the bytes `s` was generated with.
+  [[nodiscard]] static SizeFreeSchedule from(const Schedule& s);
+
+  /// True when `a` and `b` describe the identical structure (everything but
+  /// the sizes they were built at).
+  [[nodiscard]] static bool same_structure(const SizeFreeSchedule& a,
+                                           const SizeFreeSchedule& b);
+
+  /// Materialize the CompiledSchedule for a concrete vector config, reusing
+  /// `out`'s array capacity (same contract as CompiledSchedule::lower_into).
+  /// Requires size_independent.
+  void resolve_into(i64 elem_count, i64 elem_size, CompiledSchedule& out) const;
+};
+
+/// Key of one memoized schedule: the registry algorithm name plus every
+/// Config knob that shapes structure. elem_count/elem_size are deliberately
+/// absent -- that is the point of the cache.
+struct ScheduleKey {
+  Collective coll{};
+  std::string algorithm;
+  i64 p = 0;
+  Rank root = 0;
+  std::vector<i64> torus_dims;
+
+  friend bool operator<(const ScheduleKey& a, const ScheduleKey& b) {
+    if (a.coll != b.coll) return a.coll < b.coll;
+    if (a.p != b.p) return a.p < b.p;
+    if (a.root != b.root) return a.root < b.root;
+    if (a.algorithm != b.algorithm) return a.algorithm < b.algorithm;
+    return a.torus_dims < b.torus_dims;
+  }
+};
+
+/// Thread-safe memo table. Concurrent misses on the same key may both run
+/// `build` (outside the lock, so workers never serialize on generation); the
+/// generators are pure functions of the key, so whichever entry lands first
+/// is identical to the loser's -- sweep output stays deterministic for any
+/// BINE_THREADS.
+class ScheduleCache {
+ public:
+  /// Generator hook: build the schedule with the given elem_count (every
+  /// other config knob fixed by the key). Called twice on a miss, at the two
+  /// canonical verification sizes.
+  using Builder = std::function<Schedule(i64 elem_count)>;
+
+  /// The cached entry for `key`, building (and verifying) it on first use.
+  /// Exceptions from `build` propagate and cache nothing.
+  [[nodiscard]] std::shared_ptr<const SizeFreeSchedule> get(const ScheduleKey& key,
+                                                            const Builder& build);
+
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<ScheduleKey, std::shared_ptr<const SizeFreeSchedule>> entries_;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace bine::sched
