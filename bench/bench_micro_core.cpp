@@ -10,6 +10,7 @@
 #include "core/tree.hpp"
 #include "net/profiles.hpp"
 #include "net/simulate.hpp"
+#include "runtime/compiled_executor.hpp"
 #include "runtime/executor.hpp"
 
 using namespace bine;
@@ -120,9 +121,28 @@ void BM_ExecuteAllreduce(benchmark::State& state) {
     inputs[static_cast<size_t>(r)].assign(static_cast<size_t>(cfg.elem_count),
                                           static_cast<u64>(r));
   for (auto _ : state)
-    benchmark::DoNotOptimize(runtime::execute<u64>(sch, runtime::ReduceOp::sum, inputs));
+    benchmark::DoNotOptimize(
+        runtime::execute_reference<u64>(sch, runtime::ReduceOp::sum, inputs));
 }
 BENCHMARK(BM_ExecuteAllreduce)->Arg(16)->Arg(64);
+
+void BM_ExecuteAllreduceCompiled(benchmark::State& state) {
+  coll::Config cfg;
+  cfg.p = state.range(0);
+  cfg.elem_count = 4 * cfg.p;
+  cfg.elem_size = 8;
+  const auto sch =
+      coll::find_algorithm(sched::Collective::allreduce, "bine_send").make(cfg);
+  const runtime::ExecPlan plan = runtime::ExecPlan::lower(sch);
+  std::vector<std::vector<u64>> inputs(static_cast<size_t>(cfg.p));
+  for (i64 r = 0; r < cfg.p; ++r)
+    inputs[static_cast<size_t>(r)].assign(static_cast<size_t>(cfg.elem_count),
+                                          static_cast<u64>(r));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        runtime::execute<u64>(plan, runtime::ReduceOp::sum, inputs));
+}
+BENCHMARK(BM_ExecuteAllreduceCompiled)->Arg(16)->Arg(64);
 
 }  // namespace
 

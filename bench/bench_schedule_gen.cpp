@@ -76,6 +76,9 @@ int main() {
   auto run_sweep = [&](bool cached) {
     harness::Runner runner(net::fugaku_profile({4, 4, 4}));
     runner.set_schedule_cache(cached);
+    // Cold cache per round: the bench times the per-sweep miss + amortize
+    // pattern, so opt out of the process-wide shared cache.
+    runner.use_private_schedule_cache();
     return runner.sweep(queries, /*threads=*/1);
   };
 

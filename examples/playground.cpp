@@ -1,11 +1,11 @@
 // Playground: run every registered algorithm of every collective on small
-// rank counts through the executor and print a one-line verification status.
+// rank counts through the compiled executor and print a verification status.
 // A compact demonstration that the whole registry is executable and correct.
 #include <cstdio>
 #include <vector>
 
 #include "coll/registry.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/compiled_executor.hpp"
 #include "runtime/verify.hpp"
 
 using namespace bine;
@@ -28,9 +28,10 @@ int main() {
             inputs[static_cast<size_t>(r)][static_cast<size_t>(e)] =
                 static_cast<u64>(r * 1009 + e);
         }
-        const auto exec = runtime::execute<u64>(sch, runtime::ReduceOp::sum, inputs);
+        const runtime::ExecPlan plan = runtime::ExecPlan::lower(sch);
+        const auto exec = runtime::execute<u64>(plan, runtime::ReduceOp::sum, inputs);
         const std::string err =
-            runtime::verify<u64>(sch, runtime::ReduceOp::sum, inputs, exec);
+            runtime::verify<u64>(plan, runtime::ReduceOp::sum, inputs, exec);
         std::printf("  %-28s p=%-3lld steps=%-3zu wire=%-8lld %s\n", entry.name.c_str(),
                     static_cast<long long>(p), sch.num_steps(),
                     static_cast<long long>(sch.total_wire_bytes()),

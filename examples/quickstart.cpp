@@ -8,7 +8,7 @@
 #include "core/tree.hpp"
 #include "net/simulate.hpp"
 #include "net/topology.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/compiled_executor.hpp"
 #include "runtime/verify.hpp"
 
 using namespace bine;
@@ -25,7 +25,7 @@ int main() {
     std::printf("\n");
   }
 
-  // 2. Run a Bine allreduce over real buffers with the in-process runtime.
+  // 2. Run a Bine allreduce over real buffers with the compiled executor.
   coll::Config cfg;
   cfg.p = 16;
   cfg.elem_count = 64;
@@ -39,8 +39,9 @@ int main() {
     for (i64 e = 0; e < 64; ++e)
       inputs[static_cast<size_t>(r)][static_cast<size_t>(e)] = static_cast<u64>(r + e);
   }
-  const auto result = runtime::execute<u64>(sch, runtime::ReduceOp::sum, inputs);
-  const std::string err = runtime::verify<u64>(sch, runtime::ReduceOp::sum, inputs, result);
+  const runtime::ExecPlan plan = runtime::ExecPlan::lower(sch);
+  const auto result = runtime::execute<u64>(plan, runtime::ReduceOp::sum, inputs);
+  const std::string err = runtime::verify<u64>(plan, runtime::ReduceOp::sum, inputs, result);
   std::printf("\nBine allreduce on 16 ranks: %s (%lld messages, %lld wire bytes)\n",
               err.empty() ? "verified OK" : err.c_str(),
               static_cast<long long>(result.messages),

@@ -7,7 +7,7 @@
 #include "coll/torus_colls.hpp"
 #include "net/simulate.hpp"
 #include "net/topology.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/compiled_executor.hpp"
 #include "runtime/verify.hpp"
 
 using namespace bine;
@@ -36,9 +36,10 @@ int main() {
   for (const bool multiport : {false, true}) {
     const sched::Schedule sch = multiport ? coll::allreduce_torus_bine_multiport(cfg)
                                           : coll::allreduce_torus_bine(cfg);
-    const auto exec = runtime::execute<u64>(sch, runtime::ReduceOp::sum, inputs);
+    const runtime::ExecPlan plan = runtime::ExecPlan::lower(sch);
+    const auto exec = runtime::execute<u64>(plan, runtime::ReduceOp::sum, inputs);
     const std::string err =
-        runtime::verify<u64>(sch, runtime::ReduceOp::sum, inputs, exec);
+        runtime::verify<u64>(plan, runtime::ReduceOp::sum, inputs, exec);
     const auto sim = net::simulate(sch, topo, pl, cost);
     std::printf("%-28s: %s, steps=%zu, simulated time=%.1f us\n", sch.algorithm.c_str(),
                 err.empty() ? "verified OK" : err.c_str(), sim.steps, sim.seconds * 1e6);

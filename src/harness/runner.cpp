@@ -7,6 +7,8 @@
 
 #include "harness/parallel.hpp"
 #include "net/simulate.hpp"
+#include "runtime/compiled_executor.hpp"
+#include "runtime/verify.hpp"
 #include "sched/compiled.hpp"
 
 namespace bine::harness {
@@ -101,33 +103,82 @@ RunResult Runner::simulate_lowered(const sched::CompiledSchedule& lowered,
   return out;
 }
 
+std::shared_ptr<const sched::SizeFreeSchedule> Runner::cached_entry(
+    Collective coll, const coll::AlgorithmEntry& algo, const coll::Config& cfg) {
+  if (!use_schedule_cache_) return nullptr;
+  // Transparent view key: a hit performs no string/vector copies and takes
+  // only a shared lock inside the cache.
+  const sched::ScheduleKeyView key(coll, algo.name, cfg.p, cfg.root, cfg.torus_dims);
+  auto entry = sched_cache_->get(key, [&](i64 canonical_elems) {
+    // Called at the cache's two canonical verification sizes on a miss.
+    coll::Config build_cfg = cfg;
+    build_cfg.elem_count = canonical_elems;
+    return algo.make(build_cfg);
+  });
+  // Verification demoted this algorithm: callers use fresh generation.
+  if (!entry->size_independent) return nullptr;
+  return entry;
+}
+
 RunResult Runner::run(Collective coll, const coll::AlgorithmEntry& algo, i64 nodes,
                       i64 size_bytes) {
-  // Per-worker scratch: lowering/resolving into resident arrays avoids
-  // re-mmapping the SoA storage for every cell of a sweep.
-  sched::CompiledSchedule& lowered = thread_lowered_scratch();
-  if (use_schedule_cache_) {
-    const coll::Config cfg = cell_config(nodes, size_bytes);
-    sched::ScheduleKey key;
-    key.coll = coll;
-    key.algorithm = algo.name;
-    key.p = nodes;
-    key.root = cfg.root;
-    key.torus_dims = cfg.torus_dims;
-    const auto entry = sched_cache_.get(key, [&](i64 canonical_elems) {
-      // Called at the cache's two canonical verification sizes on a miss.
-      coll::Config build_cfg = cfg;
-      build_cfg.elem_count = canonical_elems;
-      return algo.make(build_cfg);
-    });
-    if (entry->size_independent) {
-      Sized& sized = sized_for(nodes);
-      entry->resolve_into(cfg.elem_count, cfg.elem_size, lowered);
-      return simulate_lowered(lowered, sized);
-    }
-    // Verification demoted this algorithm: fall through to fresh generation.
+  const coll::Config cfg = cell_config(nodes, size_bytes);
+  if (auto entry = cached_entry(coll, algo, cfg)) {
+    Sized& sized = sized_for(nodes);
+    // Per-worker scratch: resolving into resident arrays avoids re-mmapping
+    // the bytes column for every cell of a sweep.
+    sched::CompiledSchedule& lowered = thread_lowered_scratch();
+    sched::SizeFreeSchedule::resolve_into(std::move(entry), cfg.elem_count,
+                                          cfg.elem_size, lowered);
+    return simulate_lowered(lowered, sized);
   }
   return run_uncached(coll, algo, nodes, size_bytes);
+}
+
+runtime::ExecPlan Runner::exec_plan(Collective coll, const coll::AlgorithmEntry& algo,
+                                    i64 nodes, i64 size_bytes, bool* used_cache) {
+  const coll::Config cfg = cell_config(nodes, size_bytes);
+  if (used_cache) *used_cache = false;
+  if (const auto entry = cached_entry(coll, algo, cfg)) {
+    if (used_cache) *used_cache = true;
+    return runtime::ExecPlan::from_size_free(*entry, coll, cfg.root, cfg.elem_count,
+                                             cfg.elem_size);
+  }
+  return runtime::ExecPlan::lower(algo.make(cfg));
+}
+
+VerifiedRun Runner::run_verified(Collective coll, const coll::AlgorithmEntry& algo,
+                                 i64 nodes, i64 size_bytes, i64 threads) {
+  VerifiedRun out;
+  try {
+    const runtime::ExecPlan plan =
+        exec_plan(coll, algo, nodes, size_bytes, &out.used_cache);
+    // Deterministic synthetic inputs (elem_size is 4 in cell_config, hence
+    // u32 elements); sum over u32 wraps mod 2^32, which stays deterministic.
+    std::vector<std::vector<std::uint32_t>> inputs(static_cast<size_t>(plan.p));
+    for (i64 r = 0; r < plan.p; ++r) {
+      auto& in = inputs[static_cast<size_t>(r)];
+      in.resize(static_cast<size_t>(plan.elem_count));
+      for (i64 e = 0; e < plan.elem_count; ++e)
+        in[static_cast<size_t>(e)] =
+            static_cast<std::uint32_t>(r) * 2654435761u + static_cast<std::uint32_t>(e);
+    }
+    const auto res =
+        runtime::execute<std::uint32_t>(plan, runtime::ReduceOp::sum, inputs, threads);
+    out.messages = res.messages;
+    out.wire_bytes = res.wire_bytes;
+    out.error = runtime::verify<std::uint32_t>(plan, runtime::ReduceOp::sum, inputs, res);
+    out.ok = out.error.empty();
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  return out;
+}
+
+void Runner::use_private_schedule_cache() {
+  private_cache_ = std::make_unique<sched::ScheduleCache>();
+  sched_cache_ = private_cache_.get();
 }
 
 RunResult Runner::run_uncached([[maybe_unused]] Collective coll,

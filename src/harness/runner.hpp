@@ -12,6 +12,7 @@
 #include "coll/registry.hpp"
 #include "net/profiles.hpp"
 #include "net/route_cache.hpp"
+#include "runtime/exec_plan.hpp"
 #include "sched/schedule_cache.hpp"
 
 /// Evaluation driver (the stand-in for the paper's PICO framework): runs a
@@ -20,6 +21,11 @@
 /// size-free compiled schedules across the sweep. Each cell is a pure
 /// function of its inputs, so `sweep` fans independent cells out over a
 /// thread pool with deterministic, index-addressed results.
+///
+/// The schedule cache is the process-wide sched::process_schedule_cache() by
+/// default: every Runner (one per SystemProfile in the table benches) shares
+/// entries, and both the simulation path (`run`) and the execution path
+/// (`exec_plan`/`run_verified`) resolve from the same cached size-free IR.
 namespace bine::harness {
 
 struct RunResult {
@@ -27,6 +33,17 @@ struct RunResult {
   i64 global_bytes = 0;
   i64 total_bytes = 0;
   size_t steps = 0;
+};
+
+/// Outcome of one verified execution (run_verified): the collective was run
+/// over real buffers by the compiled executor and checked against its MPI
+/// postcondition.
+struct VerifiedRun {
+  bool ok = false;
+  std::string error;       ///< verify diagnostic or execution exception
+  i64 messages = 0;
+  i64 wire_bytes = 0;
+  bool used_cache = false; ///< plan came from the shared size-free IR
 };
 
 /// Vector sizes used throughout Sec. 5 (bytes): 32 B ... 512 MiB. The bench
@@ -71,6 +88,21 @@ class Runner {
                                        const coll::AlgorithmEntry& algo, i64 nodes,
                                        i64 size_bytes);
 
+  /// Compiled execution plan for one cell, pulled from the schedule cache
+  /// when possible (so verify-heavy runs skip generation on a hit, exactly
+  /// like the simulation path). Callers hand the plan to runtime::execute.
+  [[nodiscard]] runtime::ExecPlan exec_plan(sched::Collective coll,
+                                            const coll::AlgorithmEntry& algo, i64 nodes,
+                                            i64 size_bytes, bool* used_cache = nullptr);
+
+  /// Execute one cell over deterministic synthetic inputs with the compiled
+  /// executor and verify the collective's postcondition. `threads` drives the
+  /// executor's phase fan-out (<= 1 sequential). Never throws on semantic
+  /// violations -- they come back as a not-ok VerifiedRun.
+  [[nodiscard]] VerifiedRun run_verified(sched::Collective coll,
+                                         const coll::AlgorithmEntry& algo, i64 nodes,
+                                         i64 size_bytes, i64 threads = 1);
+
   /// Toggle the size-independent schedule cache (default: on, unless the
   /// BINE_SCHED_CACHE environment variable is set to 0). The cached and
   /// uncached paths are bit-exact; the toggle exists for benchmarking and
@@ -78,8 +110,11 @@ class Runner {
   void set_schedule_cache(bool enabled) { use_schedule_cache_ = enabled; }
   [[nodiscard]] bool schedule_cache_enabled() const { return use_schedule_cache_; }
   [[nodiscard]] sched::ScheduleCache::Stats schedule_cache_stats() const {
-    return sched_cache_.stats();
+    return sched_cache_->stats();
   }
+  /// Detach this runner from the process-wide schedule cache onto a private
+  /// one (cold-start benchmarking, stats isolation in tests).
+  void use_private_schedule_cache();
 
   /// Torus shape handed to the Appendix D generators (empty = near-cubic).
   std::vector<i64> torus_dims;
@@ -140,13 +175,19 @@ class Runner {
   [[nodiscard]] RunResult simulate_lowered(const sched::CompiledSchedule& lowered,
                                            Sized& sized) const;
 
+  /// Size-free entry for one cell, or nullptr when the cache is off or the
+  /// entry was demoted (callers fall back to fresh generation).
+  [[nodiscard]] std::shared_ptr<const sched::SizeFreeSchedule> cached_entry(
+      sched::Collective coll, const coll::AlgorithmEntry& algo, const coll::Config& cfg);
+
   net::SystemProfile profile_;
   bool spread_placement_;
   u64 seed_;
   std::mutex cache_mutex_;
   std::map<i64, Sized> cache_;
   bool use_schedule_cache_ = true;
-  sched::ScheduleCache sched_cache_;
+  sched::ScheduleCache* sched_cache_ = &sched::process_schedule_cache();
+  std::unique_ptr<sched::ScheduleCache> private_cache_;
 };
 
 }  // namespace bine::harness

@@ -31,7 +31,11 @@
 /// The `Schedule`-taking overloads lower + build a cache per call, which is
 /// convenient for one-off measurements; sweeps should build the
 /// `RouteCache` once per (Topology, Placement) and lower each schedule once
-/// (see harness::Runner).
+/// (see harness::Runner). `CompiledSchedule`'s columns are spans that may
+/// alias a shared ScheduleCache entry (only the bytes column is
+/// materialized per size) -- the engines below are agnostic to which
+/// backing they read. DESIGN.md describes the full three-layer pipeline,
+/// including the runtime executor's sibling IR (runtime::ExecPlan).
 namespace bine::net {
 
 struct TrafficStats {

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "sched/schedule_cache.hpp"
+
+/// Flat execution IR: the runtime analogue of sched::CompiledSchedule.
+///
+/// The executor's work is entirely delivery-driven: within a synchronized
+/// step every send reads the sender's *pre-step* state, so a message's
+/// payload is fully determined by (sender, block ids) -- all sends a rank
+/// issues in one step read identical state, and `Schedule::validate()`
+/// guarantees each send is matched by exactly one receive with the same
+/// block set. `ExecPlan` therefore keeps exactly one record per *delivery*
+/// (receive-type op), in the canonical step-major / receiver-grouped order
+/// the nested reference executor applies them in:
+///
+///   * per delivery: receiving rank, sending rank, reduce flag, wire bytes,
+///     and a CSR slice of expanded block ids;
+///   * per block id: a dense element offset (`block_off`), so each rank's
+///     state is ONE flat buffer instead of per-slot vectors, and contributor
+///     sets are fixed-width bitset word runs in one flat array;
+///   * per step: op and receiver-run CSR ranges, plus staging prefix sums
+///     (`elem_prefix`) sized once at lowering time, so execution performs no
+///     per-step allocation at all.
+///
+/// Built two ways, bit-identically (the parity tests assert it):
+///   * `lower(Schedule)` -- validate + flatten the nested representation
+///     (the uncached oracle-side path);
+///   * `from_size_free(entry, ...)` -- re-materialize from the execution
+///     overlay of a cached sched::SizeFreeSchedule, which is how
+///     harness::Runner's verify path skips generation entirely on a
+///     schedule-cache hit.
+namespace bine::runtime {
+
+struct ExecPlan {
+  sched::Collective coll{};
+  sched::BlockSpace space = sched::BlockSpace::per_vector;
+  i64 p = 0;
+  i64 nblocks = 0;
+  i64 elem_count = 0;
+  i64 elem_size = 0;
+  Rank root = 0;
+  size_t steps = 0;
+
+  // One record per delivery (recv or recv_reduce), step-major,
+  // receiver-grouped, receiver op order preserved.
+  std::vector<std::uint32_t> step_begin;    ///< steps+1 CSR over deliveries
+  std::vector<std::int32_t> to;             ///< receiving rank
+  std::vector<std::int32_t> from;           ///< sending rank
+  std::vector<std::uint8_t> reduce;         ///< 1 = fold with the reduce op
+  std::vector<i64> op_bytes;                ///< wire bytes (accounting)
+  std::vector<std::uint32_t> block_begin;   ///< nops+1 CSR into `ids`
+  std::vector<i64> ids;                     ///< expanded logical block ids
+
+  // Derived at lowering time (finalize()).
+  std::vector<i64> block_off;               ///< nblocks+1 dense element offsets
+  std::vector<i64> elem_prefix;             ///< ids.size()+1 cumulative elements
+  std::vector<std::uint32_t> run_begin;     ///< receiver-run CSR over deliveries
+  std::vector<std::uint32_t> step_run_begin;///< steps+1 CSR over runs
+  /// Deliveries whose read cells (sender, id) are written by no delivery of
+  /// the same step: their payload IS the sender's live buffer, so the
+  /// executor skips staging them (zero-copy apply). Trees, scatter/allgather
+  /// composites, rings and recursive halving are direct almost everywhere;
+  /// only full-vector butterfly exchanges (recursive doubling) still stage.
+  std::vector<std::uint8_t> direct;
+  /// Staging offsets of non-direct deliveries (elements / blocks within the
+  /// step's stage buffer); unused for direct and fused ones.
+  std::vector<i64> stage_elem_off;
+  std::vector<i64> stage_block_off;
+  /// Symmetric-exchange fusion: delivery pairs (j1 = r<-s, j2 = s<-r), both
+  /// recv_reduce over the identical id list, whose cells no other delivery
+  /// of the step touches. The executor computes `a op b` once and writes
+  /// both sides (reduce_symmetric), so these -- the full-vector butterfly
+  /// exchanges of recursive doubling -- never stage either. `fused[j]` marks
+  /// members; `fused_pair` lists each pair once (j1 then j2), with
+  /// `step_fused_begin` the steps+1 CSR in pairs.
+  std::vector<std::uint8_t> fused;
+  std::vector<std::uint32_t> fused_pair;
+  std::vector<std::uint32_t> step_fused_begin;
+  i64 elems_per_rank = 0;                   ///< block_off.back()
+  i64 words = 0;                            ///< u64 words per contributor set
+  i64 max_step_elems = 0;                   ///< staging buffer size (elements)
+  i64 max_step_blocks = 0;                  ///< staging buffer size (blocks)
+  i64 total_wire_bytes = 0;
+
+  [[nodiscard]] size_t num_ops() const noexcept { return to.size(); }
+  [[nodiscard]] i64 block_len(i64 id) const noexcept {
+    return block_off[static_cast<size_t>(id) + 1] - block_off[static_cast<size_t>(id)];
+  }
+
+  /// Validate `s` and flatten it. Throws std::runtime_error on coarse-mode
+  /// or structurally invalid schedules (the same contract execute_reference
+  /// enforces at run time).
+  [[nodiscard]] static ExecPlan lower(const sched::Schedule& s);
+
+  /// Re-materialize from a cached entry's execution overlay for a concrete
+  /// vector config. `sf` must be size_independent; `coll`/`root` come from
+  /// the cache key (the entry itself is keyed, not self-describing).
+  [[nodiscard]] static ExecPlan from_size_free(const sched::SizeFreeSchedule& sf,
+                                               sched::Collective coll, Rank root,
+                                               i64 elem_count, i64 elem_size);
+
+ private:
+  void finalize();
+};
+
+}  // namespace bine::runtime

@@ -22,6 +22,16 @@
 /// set*: which ranks' original inputs have been folded into the value. A
 /// reduction that would fold the same contributor twice -- the correctness
 /// hazard of Appendix C's non-power-of-two handling -- throws immediately.
+///
+/// Two engines implement these semantics (mirroring the simulator's split,
+/// DESIGN.md):
+///
+///   * the *compiled* engine (runtime/compiled_executor.hpp) streams the flat
+///     runtime::ExecPlan IR over dense per-rank buffers and flat contributor
+///     bitset words -- the default, and the one harness::Runner drives;
+///   * the nested-walking implementations in this header and
+///     threaded_executor.hpp are retained as `*_reference` oracles the parity
+///     suite compares against.
 namespace bine::runtime {
 
 /// Dynamic bitset over ranks, used for contributor tracking.
@@ -38,6 +48,14 @@ class RankSet {
   static RankSet full(i64 p) {
     RankSet s(p);
     for (Rank r = 0; r < p; ++r) s.add(r);
+    return s;
+  }
+  /// Wrap the flat word array the compiled executor tracks contributor sets
+  /// in (one fixed-width run of (p+63)/64 words per block).
+  static RankSet from_words(i64 p, std::span<const u64> words) {
+    RankSet s(p);
+    assert(words.size() == s.bits_.size());
+    std::copy(words.begin(), words.end(), s.bits_.begin());
     return s;
   }
 
@@ -57,6 +75,7 @@ class RankSet {
     for (const u64 w : bits_) n += static_cast<i64>(__builtin_popcountll(w));
     return n;
   }
+  [[nodiscard]] std::span<const u64> words() const { return bits_; }
 
  private:
   static size_t word(Rank r) { return static_cast<size_t>(r) / 64; }
@@ -85,28 +104,54 @@ struct ExecResult {
   i64 wire_bytes = 0;
 };
 
+/// The block-id-to-elements mapping of one schedule: everything
+/// `initial_block`/`verify` need, shared between the nested Schedule path and
+/// the compiled ExecPlan path (which has no Schedule to point at).
+struct BlockLayout {
+  sched::BlockSpace space = sched::BlockSpace::per_vector;
+  i64 p = 0;
+  i64 nblocks = 0;
+  i64 elem_count = 0;
+
+  [[nodiscard]] static BlockLayout of(const sched::Schedule& s) {
+    return {s.space, s.p, s.nblocks, s.elem_count};
+  }
+
+  /// Element length of logical block `id`.
+  [[nodiscard]] i64 block_len(i64 id) const {
+    return space == sched::BlockSpace::per_vector
+               ? sched::block_elems(id, elem_count, nblocks)
+               : sched::block_elems(id % p, elem_count, p);
+  }
+};
+
 namespace detail {
 
-/// Element span of logical block `id` inside rank `owner`'s input vector.
+/// Element span of logical block `id` inside rank `holder`'s input vector.
 /// For per_vector space the block maps into the shared vector; for pairwise
 /// space id = s*p + d maps into sender s's send buffer.
 template <typename T>
-std::vector<T> initial_block(const sched::Schedule& s, std::span<const std::vector<T>> inputs,
+std::vector<T> initial_block(const BlockLayout& l, std::span<const std::vector<T>> inputs,
                              Rank holder, i64 id) {
   using sched::block_elems;
   using sched::block_offset;
-  if (s.space == sched::BlockSpace::per_vector) {
-    const i64 off = block_offset(id, s.elem_count, s.nblocks);
-    const i64 len = block_elems(id, s.elem_count, s.nblocks);
+  if (l.space == sched::BlockSpace::per_vector) {
+    const i64 off = block_offset(id, l.elem_count, l.nblocks);
+    const i64 len = block_elems(id, l.elem_count, l.nblocks);
     const auto& in = inputs[static_cast<size_t>(holder)];
     return {in.begin() + off, in.begin() + off + len};
   }
-  const i64 src = id / s.p, dst = id % s.p;
-  (void)dst;
-  const i64 off = block_offset(id % s.p, s.elem_count, s.p);
-  const i64 len = block_elems(id % s.p, s.elem_count, s.p);
+  const i64 src = id / l.p;
+  const i64 off = block_offset(id % l.p, l.elem_count, l.p);
+  const i64 len = block_elems(id % l.p, l.elem_count, l.p);
   const auto& in = inputs[static_cast<size_t>(src)];
   return {in.begin() + off, in.begin() + off + len};
+}
+
+template <typename T>
+std::vector<T> initial_block(const sched::Schedule& s, std::span<const std::vector<T>> inputs,
+                             Rank holder, i64 id) {
+  return initial_block(BlockLayout::of(s), inputs, holder, id);
 }
 
 }  // namespace detail
@@ -155,12 +200,14 @@ std::vector<RankState<T>> initial_state(const sched::Schedule& s,
   return ranks;
 }
 
-/// Run `schedule` over the given inputs. Throws std::runtime_error on any
+/// Run `schedule` over the given inputs, walking the nested representation
+/// op by op. Retained as the sequential oracle for the compiled engine
+/// (runtime/compiled_executor.hpp). Throws std::runtime_error on any
 /// semantic violation (sending an invalid block, unmatched messages,
 /// duplicated reduction contributions).
 template <typename T>
-ExecResult<T> execute(const sched::Schedule& schedule, ReduceOp op,
-                      std::span<const std::vector<T>> inputs) {
+ExecResult<T> execute_reference(const sched::Schedule& schedule, ReduceOp op,
+                                std::span<const std::vector<T>> inputs) {
   if (!schedule.detail)
     throw std::runtime_error("executor requires a detail-mode schedule");
   if (const std::string err = schedule.validate(); !err.empty())

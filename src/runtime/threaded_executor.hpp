@@ -6,16 +6,18 @@
 
 #include "runtime/executor.hpp"
 
-/// Concurrent variant of the executor: one std::thread per rank, stepping in
-/// lockstep through the schedule with a barrier per phase. Exercises the same
-/// schedules under real concurrency (LLNL-tutorial-style message passing with
-/// matched sends/receives); results must be bit-identical to the sequential
-/// executor, which the tests assert.
+/// Concurrent variant of the nested reference executor: one std::thread per
+/// rank, stepping in lockstep through the schedule with a barrier per phase.
+/// Exercises the same schedules under real concurrency (LLNL-tutorial-style
+/// message passing with matched sends/receives); results must be
+/// bit-identical to the sequential executor, which the tests assert. The
+/// compiled engine's threaded path lives in compiled_executor.hpp (pass
+/// `threads > 1`); this oracle is what it is checked against.
 namespace bine::runtime {
 
 template <typename T>
-ExecResult<T> execute_threaded(const sched::Schedule& schedule, ReduceOp op,
-                               std::span<const std::vector<T>> inputs) {
+ExecResult<T> execute_threaded_reference(const sched::Schedule& schedule, ReduceOp op,
+                                         std::span<const std::vector<T>> inputs) {
   if (!schedule.detail)
     throw std::runtime_error("executor requires a detail-mode schedule");
   if (const std::string err = schedule.validate(); !err.empty())

@@ -7,20 +7,21 @@ namespace bine::sched {
 void CompiledSchedule::lower_into(const Schedule& s, CompiledSchedule& out) {
   out.p = s.p;
   out.steps = s.num_steps();
+  out.keepalive.reset();
 
   // Size pass reads only the per-step vector headers; plain recvs are
   // dropped during the fill, so this is an upper bound trimmed afterwards.
   size_t total_ops = 0;
   for (const auto& rank_steps : s.steps)
     for (const RankStep& st : rank_steps) total_ops += st.ops.size();
-  out.kind.resize(total_ops);
-  out.rank.resize(total_ops);
-  out.peer.resize(total_ops);
-  out.bytes.resize(total_ops);
-  out.extra_segments.resize(total_ops);
-  out.step_begin.clear();
-  out.step_begin.reserve(out.steps + 1);
-  out.step_begin.push_back(0);
+  out.own.kind.resize(total_ops);
+  out.own.rank.resize(total_ops);
+  out.own.peer.resize(total_ops);
+  out.own.bytes.resize(total_ops);
+  out.own.extra_segments.resize(total_ops);
+  out.own.step_begin.clear();
+  out.own.step_begin.reserve(out.steps + 1);
+  out.own.step_begin.push_back(0);
 
   // Step-major fill via the shared lowering-order visitor: the traversal
   // order IS the output order, so every array is written sequentially with
@@ -31,19 +32,26 @@ void CompiledSchedule::lower_into(const Schedule& s, CompiledSchedule& out) {
   for_each_lowered_op(
       s, out.steps,
       [&](Rank r, const Op& op) {
-        out.kind[i] = op.kind;
-        out.rank[i] = static_cast<std::int32_t>(r);
-        out.peer[i] = static_cast<std::int32_t>(op.peer);
-        out.bytes[i] = op.bytes;
-        out.extra_segments[i] = lowered_extra_segments(op);
+        out.own.kind[i] = op.kind;
+        out.own.rank[i] = static_cast<std::int32_t>(r);
+        out.own.peer[i] = static_cast<std::int32_t>(op.peer);
+        out.own.bytes[i] = op.bytes;
+        out.own.extra_segments[i] = lowered_extra_segments(op);
         ++i;
       },
-      [&](size_t) { out.step_begin.push_back(i); });
-  out.kind.resize(i);
-  out.rank.resize(i);
-  out.peer.resize(i);
-  out.bytes.resize(i);
-  out.extra_segments.resize(i);
+      [&](size_t) { out.own.step_begin.push_back(i); });
+  out.own.kind.resize(i);
+  out.own.rank.resize(i);
+  out.own.peer.resize(i);
+  out.own.bytes.resize(i);
+  out.own.extra_segments.resize(i);
+
+  out.step_begin = out.own.step_begin;
+  out.kind = out.own.kind;
+  out.rank = out.own.rank;
+  out.peer = out.own.peer;
+  out.bytes = out.own.bytes;
+  out.extra_segments = out.own.extra_segments;
 }
 
 CompiledSchedule CompiledSchedule::lower(const Schedule& s) {

@@ -1,6 +1,8 @@
 #include "sched/schedule_cache.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <mutex>
 
 namespace bine::sched {
 
@@ -23,62 +25,98 @@ SizeFreeSchedule SizeFreeSchedule::from(const Schedule& s) {
   out.step_begin.reserve(out.steps + 1);
   out.step_begin.push_back(0);
   out.block_begin.push_back(0);
+  out.recv_step_begin.reserve(out.steps + 1);
+  out.recv_step_begin.push_back(0);
+  out.recv_block_begin.push_back(0);
 
   const i64 n = s.total_elems();
 
-  // Shared lowering-order visitor (compiled.hpp): the resolved IR must be
-  // indistinguishable from a fresh lower().
-  for_each_lowered_op(
+  // Byte resolvability check (see header): blocks must reproduce the baked
+  // bytes, or the op must move the full vector (local_perm). Applied to the
+  // simulation stream AND the execution overlay, so a schedule that resolves
+  // for the cost model but not for the executor can never be cached.
+  const auto resolvable = [&](const Op& op, bool* full) {
+    const auto rs = op.blocks.ranges();
+    const i64 from_blocks = ranges_elem_count(rs, n, s.nblocks) * s.elem_size;
+    if (op.kind == OpKind::local_perm && rs.empty() && op.bytes == n * s.elem_size &&
+        op.bytes != 0) {
+      if (full) *full = true;
+      return true;
+    }
+    return from_blocks == op.bytes;
+  };
+
+  // Shared canonical-order visitor (compiled.hpp): the resolved IR must be
+  // indistinguishable from a fresh lower(), and the execution overlay must
+  // replay the reference executor's delivery order.
+  for_each_op_step_major(
       s, out.steps,
       [&](Rank r, const Op& op) {
+        const bool is_recv_kind =
+            op.kind == OpKind::recv || op.kind == OpKind::recv_reduce;
+        if (is_recv_kind) {
+          out.recv_rank.push_back(static_cast<std::int32_t>(r));
+          out.recv_peer.push_back(static_cast<std::int32_t>(op.peer));
+          out.recv_reduce.push_back(op.kind == OpKind::recv_reduce ? 1 : 0);
+          const auto rs = op.blocks.ranges();
+          out.recv_ranges.insert(out.recv_ranges.end(), rs.begin(), rs.end());
+          out.recv_block_begin.push_back(
+              static_cast<std::uint32_t>(out.recv_ranges.size()));
+          if (!resolvable(op, nullptr)) out.size_independent = false;
+        }
+        if (op.kind == OpKind::recv) return;  // dropped from the simulation stream
+
         out.kind.push_back(op.kind);
         out.rank.push_back(static_cast<std::int32_t>(r));
         out.peer.push_back(static_cast<std::int32_t>(op.peer));
         out.extra_segments.push_back(lowered_extra_segments(op));
 
-        // Byte resolvability check (see header): blocks must reproduce the
-        // baked bytes, or the op must move the full vector (local_perm).
         const auto rs = op.blocks.ranges();
-        const i64 from_blocks = ranges_elem_count(rs, n, s.nblocks) * s.elem_size;
         bool full = false;
-        if (op.kind == OpKind::local_perm && rs.empty() && op.bytes == n * s.elem_size &&
-            op.bytes != 0) {
-          full = true;
-        } else if (from_blocks != op.bytes) {
-          out.size_independent = false;
-        }
+        if (!resolvable(op, &full)) out.size_independent = false;
         out.full_vector.push_back(full ? 1 : 0);
         out.ranges.insert(out.ranges.end(), rs.begin(), rs.end());
         out.block_begin.push_back(static_cast<std::uint32_t>(out.ranges.size()));
       },
-      [&](size_t) { out.step_begin.push_back(static_cast<std::uint32_t>(out.kind.size())); });
+      [&](size_t) {
+        out.step_begin.push_back(static_cast<std::uint32_t>(out.kind.size()));
+        out.recv_step_begin.push_back(static_cast<std::uint32_t>(out.recv_rank.size()));
+      });
   return out;
 }
 
-void SizeFreeSchedule::resolve_into(i64 elem_count, i64 elem_size,
-                                    CompiledSchedule& out) const {
-  assert(size_independent && "entry failed verification; use fresh generation");
-  out.p = p;
-  out.steps = steps;
-  out.step_begin.assign(step_begin.begin(), step_begin.end());
-  out.kind.assign(kind.begin(), kind.end());
-  out.rank.assign(rank.begin(), rank.end());
-  out.peer.assign(peer.begin(), peer.end());
-  out.extra_segments.assign(extra_segments.begin(), extra_segments.end());
+void SizeFreeSchedule::resolve_into(std::shared_ptr<const SizeFreeSchedule> self,
+                                    i64 elem_count, i64 elem_size,
+                                    CompiledSchedule& out) {
+  assert(self);
+  assert(self->size_independent && "entry failed verification; use fresh generation");
+  out.p = self->p;
+  out.steps = self->steps;
 
-  const i64 n = space == BlockSpace::pairwise ? elem_count * p : elem_count;
+  // Size-invariant columns are shared straight from the entry: a resolve
+  // touches only the bytes column.
+  out.step_begin = self->step_begin;
+  out.kind = self->kind;
+  out.rank = self->rank;
+  out.peer = self->peer;
+  out.extra_segments = self->extra_segments;
+
+  const i64 n = self->space == BlockSpace::pairwise ? elem_count * self->p : elem_count;
   const i64 full_bytes = n * elem_size;
-  const size_t ops = num_ops();
-  out.bytes.resize(ops);
+  const size_t ops = self->num_ops();
+  out.own.bytes.resize(ops);
   for (size_t i = 0; i < ops; ++i) {
-    if (full_vector[i]) {
-      out.bytes[i] = full_bytes;
+    if (self->full_vector[i]) {
+      out.own.bytes[i] = full_bytes;
     } else {
-      const std::span<const BlockRange> rs{ranges.data() + block_begin[i],
-                                           ranges.data() + block_begin[i + 1]};
-      out.bytes[i] = ranges_elem_count(rs, n, nblocks) * elem_size;
+      const std::span<const BlockRange> rs{
+          self->ranges.data() + self->block_begin[i],
+          self->ranges.data() + self->block_begin[i + 1]};
+      out.own.bytes[i] = ranges_elem_count(rs, n, self->nblocks) * elem_size;
     }
   }
+  out.bytes = out.own.bytes;
+  out.keepalive = std::move(self);
 }
 
 bool SizeFreeSchedule::same_structure(const SizeFreeSchedule& a,
@@ -87,16 +125,19 @@ bool SizeFreeSchedule::same_structure(const SizeFreeSchedule& a,
          a.steps == b.steps && a.step_begin == b.step_begin && a.kind == b.kind &&
          a.rank == b.rank && a.peer == b.peer &&
          a.extra_segments == b.extra_segments && a.block_begin == b.block_begin &&
-         a.ranges == b.ranges && a.full_vector == b.full_vector;
+         a.ranges == b.ranges && a.full_vector == b.full_vector &&
+         a.recv_step_begin == b.recv_step_begin && a.recv_rank == b.recv_rank &&
+         a.recv_peer == b.recv_peer && a.recv_reduce == b.recv_reduce &&
+         a.recv_block_begin == b.recv_block_begin && a.recv_ranges == b.recv_ranges;
 }
 
-std::shared_ptr<const SizeFreeSchedule> ScheduleCache::get(const ScheduleKey& key,
+std::shared_ptr<const SizeFreeSchedule> ScheduleCache::get(const ScheduleKeyView& key,
                                                            const Builder& build) {
   {
-    const std::scoped_lock lock(mutex_);
-    const auto it = entries_.find(key);
+    const std::shared_lock lock(mutex_);
+    const auto it = entries_.find(key);  // transparent: no ScheduleKey built
     if (it != entries_.end()) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
@@ -120,22 +161,26 @@ std::shared_ptr<const SizeFreeSchedule> ScheduleCache::get(const ScheduleKey& ke
       entry.size_independent = false;
   }
   auto built = std::make_shared<const SizeFreeSchedule>(std::move(entry));
-  const std::scoped_lock lock(mutex_);
-  ++misses_;
-  const auto [it, inserted] = entries_.emplace(key, std::move(built));
+  const std::unique_lock lock(mutex_);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const auto [it, inserted] = entries_.emplace(key.materialize(), std::move(built));
   return it->second;
 }
 
 ScheduleCache::Stats ScheduleCache::stats() const {
-  const std::scoped_lock lock(mutex_);
-  return {hits_, misses_};
+  return {hits_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed)};
 }
 
 void ScheduleCache::clear() {
-  const std::scoped_lock lock(mutex_);
+  const std::unique_lock lock(mutex_);
   entries_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+ScheduleCache& process_schedule_cache() {
+  static ScheduleCache cache;
+  return cache;
 }
 
 }  // namespace bine::sched

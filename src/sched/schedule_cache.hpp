@@ -1,11 +1,14 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sched/compiled.hpp"
@@ -25,8 +28,17 @@
 /// op stream with the byte column *abstracted* -- each op instead carries its
 /// block ranges (CSR into one owned array) or a full-vector marker, so
 /// `resolve_into` can materialize the concrete CompiledSchedule for any
-/// (elem_count, elem_size) in one linear pass. One cached entry therefore
-/// serves an entire message-size sweep.
+/// (elem_count, elem_size) by computing the bytes column alone (every
+/// size-invariant column is shared by span with the resolved schedule; see
+/// compiled.hpp). One cached entry therefore serves an entire message-size
+/// sweep.
+///
+/// Beyond the simulation columns, the entry carries an *execution overlay*:
+/// every receive-type op (plain recvs included -- the simulation stream drops
+/// them) with its block ranges, in the canonical step-major/receiver order.
+/// runtime::ExecPlan::from_size_free consumes it, which is how the runtime
+/// executor and the verification harness run off the same cached artifact as
+/// the simulator (DESIGN.md has the full pipeline).
 ///
 /// Safety over faith, two layers:
 ///
@@ -76,7 +88,21 @@ struct SizeFreeSchedule {
   std::vector<BlockRange> ranges;
   std::vector<std::uint8_t> full_vector;
 
+  // --- execution overlay ---------------------------------------------------
+  // Every receive-type op (recv AND recv_reduce), canonical step-major /
+  // receiver-grouped order with the receiver's op order preserved -- the
+  // ordering the reference executor's delivery semantics depend on. Plain
+  // recvs exist only here; recv_reduce ops appear both here and in the
+  // simulation stream above.
+  std::vector<std::uint32_t> recv_step_begin;  ///< CSR per step
+  std::vector<std::int32_t> recv_rank;         ///< receiving rank
+  std::vector<std::int32_t> recv_peer;         ///< sending rank
+  std::vector<std::uint8_t> recv_reduce;       ///< 1 = recv_reduce
+  std::vector<std::uint32_t> recv_block_begin; ///< CSR into recv_ranges
+  std::vector<BlockRange> recv_ranges;
+
   [[nodiscard]] size_t num_ops() const noexcept { return kind.size(); }
+  [[nodiscard]] size_t num_recv_ops() const noexcept { return recv_rank.size(); }
 
   /// Compile `s` into size-free form, verifying byte resolvability against
   /// the bytes `s` was generated with.
@@ -88,9 +114,12 @@ struct SizeFreeSchedule {
                                            const SizeFreeSchedule& b);
 
   /// Materialize the CompiledSchedule for a concrete vector config, reusing
-  /// `out`'s array capacity (same contract as CompiledSchedule::lower_into).
+  /// `out`'s byte-column capacity. Only the bytes column is computed; every
+  /// size-invariant column is shared by span with `self`, which `out` keeps
+  /// alive (hence the shared handle rather than a plain `this` call).
   /// Requires size_independent.
-  void resolve_into(i64 elem_count, i64 elem_size, CompiledSchedule& out) const;
+  static void resolve_into(std::shared_ptr<const SizeFreeSchedule> self,
+                           i64 elem_count, i64 elem_size, CompiledSchedule& out);
 };
 
 /// Key of one memoized schedule: the registry algorithm name plus every
@@ -102,21 +131,62 @@ struct ScheduleKey {
   i64 p = 0;
   Rank root = 0;
   std::vector<i64> torus_dims;
+};
 
-  friend bool operator<(const ScheduleKey& a, const ScheduleKey& b) {
+/// Non-owning view of a ScheduleKey, so the cache hit path can look an entry
+/// up straight from a Runner's (name, config) without materializing the
+/// string/vector copies a ScheduleKey costs. Only a miss pays for the owned
+/// key.
+struct ScheduleKeyView {
+  Collective coll{};
+  std::string_view algorithm;
+  i64 p = 0;
+  Rank root = 0;
+  std::span<const i64> torus_dims;
+
+  ScheduleKeyView() = default;
+  ScheduleKeyView(Collective c, std::string_view algo, i64 ranks, Rank rt,
+                  std::span<const i64> dims)
+      : coll(c), algorithm(algo), p(ranks), root(rt), torus_dims(dims) {}
+  ScheduleKeyView(const ScheduleKey& k)  // NOLINT(google-explicit-constructor)
+      : coll(k.coll), algorithm(k.algorithm), p(k.p), root(k.root),
+        torus_dims(k.torus_dims) {}
+
+  [[nodiscard]] ScheduleKey materialize() const {
+    return {coll, std::string(algorithm), p, root,
+            std::vector<i64>(torus_dims.begin(), torus_dims.end())};
+  }
+};
+
+/// Transparent strict-weak order over ScheduleKey/ScheduleKeyView mixes:
+/// lookups with a view never construct a key.
+struct ScheduleKeyLess {
+  using is_transparent = void;
+  [[nodiscard]] static bool less(const ScheduleKeyView& a, const ScheduleKeyView& b) {
     if (a.coll != b.coll) return a.coll < b.coll;
     if (a.p != b.p) return a.p < b.p;
     if (a.root != b.root) return a.root < b.root;
-    if (a.algorithm != b.algorithm) return a.algorithm < b.algorithm;
-    return a.torus_dims < b.torus_dims;
+    if (const int c = a.algorithm.compare(b.algorithm); c != 0) return c < 0;
+    return std::lexicographical_compare(a.torus_dims.begin(), a.torus_dims.end(),
+                                        b.torus_dims.begin(), b.torus_dims.end());
+  }
+  template <class A, class B>
+  [[nodiscard]] bool operator()(const A& a, const B& b) const {
+    return less(ScheduleKeyView(a), ScheduleKeyView(b));
   }
 };
+
+[[nodiscard]] inline bool operator<(const ScheduleKey& a, const ScheduleKey& b) {
+  return ScheduleKeyLess::less(a, b);
+}
 
 /// Thread-safe memo table. Concurrent misses on the same key may both run
 /// `build` (outside the lock, so workers never serialize on generation); the
 /// generators are pure functions of the key, so whichever entry lands first
 /// is identical to the loser's -- sweep output stays deterministic for any
-/// BINE_THREADS.
+/// BINE_THREADS. Hits take only a shared lock (reads never contend with each
+/// other) and hit/miss counters are atomics, so the steady-state sweep path
+/// is copy- and contention-free.
 class ScheduleCache {
  public:
   /// Generator hook: build the schedule with the given elem_count (every
@@ -126,8 +196,12 @@ class ScheduleCache {
 
   /// The cached entry for `key`, building (and verifying) it on first use.
   /// Exceptions from `build` propagate and cache nothing.
-  [[nodiscard]] std::shared_ptr<const SizeFreeSchedule> get(const ScheduleKey& key,
+  [[nodiscard]] std::shared_ptr<const SizeFreeSchedule> get(const ScheduleKeyView& key,
                                                             const Builder& build);
+  [[nodiscard]] std::shared_ptr<const SizeFreeSchedule> get(const ScheduleKey& key,
+                                                            const Builder& build) {
+    return get(ScheduleKeyView(key), build);
+  }
 
   struct Stats {
     u64 hits = 0;
@@ -137,10 +211,19 @@ class ScheduleCache {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<ScheduleKey, std::shared_ptr<const SizeFreeSchedule>> entries_;
-  u64 hits_ = 0;
-  u64 misses_ = 0;
+  mutable std::shared_mutex mutex_;
+  std::map<ScheduleKey, std::shared_ptr<const SizeFreeSchedule>, ScheduleKeyLess>
+      entries_;
+  mutable std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
 };
+
+/// The process-wide cache instance. Schedule structure is a pure function of
+/// the key -- no Runner-, profile- or topology-specific state leaks into it --
+/// so every Runner (and the table benches' many Runners) shares one table:
+/// the second Runner in a process starts hot. Runners use this instance by
+/// default; `Runner::use_private_schedule_cache()` opts a runner out (cold
+/// per-instance timing, test isolation).
+[[nodiscard]] ScheduleCache& process_schedule_cache();
 
 }  // namespace bine::sched

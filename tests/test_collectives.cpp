@@ -1,6 +1,8 @@
 // End-to-end correctness: every registered algorithm, executed over real
-// buffers by the runtime, must satisfy its collective's postconditions --
-// including contributor-set tracking that rejects double reductions.
+// buffers by the compiled runtime engine, must satisfy its collective's
+// postconditions -- including contributor-set tracking that rejects double
+// reductions. (Compiled-vs-reference bit-exactness lives in
+// test_exec_engine.cpp; this suite runs the engine the harness ships.)
 #include <gtest/gtest.h>
 
 #include <string>
@@ -8,7 +10,7 @@
 
 #include "coll/registry.hpp"
 #include "core/block_perm.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/compiled_executor.hpp"
 #include "runtime/verify.hpp"
 
 namespace bc = bine::coll;
@@ -63,8 +65,9 @@ TEST_P(CollectiveCorrectness, ExecutesAndVerifies) {
 
   const auto inputs = make_inputs(
       c.p, sch.space == bs::BlockSpace::pairwise ? cfg.elem_count : cfg.elem_count);
-  const auto result = br::execute<u64>(sch, br::ReduceOp::sum, inputs);
-  EXPECT_EQ(br::verify<u64>(sch, br::ReduceOp::sum, inputs, result), "")
+  const br::ExecPlan plan = br::ExecPlan::lower(sch);
+  const auto result = br::execute<u64>(plan, br::ReduceOp::sum, inputs);
+  EXPECT_EQ(br::verify<u64>(plan, br::ReduceOp::sum, inputs, result), "")
       << sch.algorithm << " p=" << c.p << " root=" << c.root;
 }
 
@@ -108,8 +111,9 @@ TEST(CollectiveTypes, AllreduceInt32MinMax) {
     }
     for (const br::ReduceOp op : {br::ReduceOp::min, br::ReduceOp::max, br::ReduceOp::sum,
                                   br::ReduceOp::band, br::ReduceOp::bor}) {
-      const auto res = br::execute<int32_t>(sch, op, in);
-      EXPECT_EQ(br::verify<int32_t>(sch, op, in, res), "")
+      const br::ExecPlan plan = br::ExecPlan::lower(sch);
+      const auto res = br::execute<int32_t>(plan, op, in);
+      EXPECT_EQ(br::verify<int32_t>(plan, op, in, res), "")
           << algo << " op=" << to_string(op);
     }
   }
@@ -129,8 +133,9 @@ TEST(CollectiveTypes, AllreduceDoubleExact) {
     for (i64 e = 0; e < 24; ++e)
       in[static_cast<size_t>(r)][static_cast<size_t>(e)] = static_cast<double>(r + e % 7);
   }
-  const auto res = br::execute<double>(sch, br::ReduceOp::sum, in);
-  EXPECT_EQ(br::verify<double>(sch, br::ReduceOp::sum, in, res), "");
+  const br::ExecPlan plan = br::ExecPlan::lower(sch);
+  const auto res = br::execute<double>(plan, br::ReduceOp::sum, in);
+  EXPECT_EQ(br::verify<double>(plan, br::ReduceOp::sum, in, res), "");
 }
 
 // --- Failure injection: the executor must reject broken schedules -------------
@@ -147,7 +152,8 @@ TEST(ExecutorFaults, RejectsDuplicateContribution) {
   sch.add_exchange(0, 3, 2, bs::BlockSet::all(4), true);
   sch.normalize_steps();
   const auto in = make_inputs(4, 8);
-  EXPECT_THROW(br::execute<u64>(sch, br::ReduceOp::sum, in), std::runtime_error);
+  const br::ExecPlan plan = br::ExecPlan::lower(sch);
+  EXPECT_THROW((void)br::execute<u64>(plan, br::ReduceOp::sum, in), std::runtime_error);
 }
 
 TEST(ExecutorFaults, RejectsSendingAbsentBlock) {
@@ -160,7 +166,8 @@ TEST(ExecutorFaults, RejectsSendingAbsentBlock) {
   sch.add_exchange(0, 1, 2, bs::BlockSet::all(4), false);  // rank 1 has nothing yet
   sch.normalize_steps();
   const auto in = make_inputs(4, 8);
-  EXPECT_THROW(br::execute<u64>(sch, br::ReduceOp::sum, in), std::runtime_error);
+  const br::ExecPlan plan = br::ExecPlan::lower(sch);
+  EXPECT_THROW((void)br::execute<u64>(plan, br::ReduceOp::sum, in), std::runtime_error);
 }
 
 TEST(ExecutorFaults, RejectsUnmatchedMessage) {
@@ -187,8 +194,9 @@ TEST(ExecutorFaults, IncompleteBroadcastFailsVerification) {
   sch.add_exchange(1, 0, 2, bs::BlockSet::all(4), false);
   sch.normalize_steps();
   const auto in = make_inputs(4, 8);
-  const auto res = br::execute<u64>(sch, br::ReduceOp::sum, in);
-  EXPECT_NE(br::verify<u64>(sch, br::ReduceOp::sum, in, res), "");
+  const br::ExecPlan plan = br::ExecPlan::lower(sch);
+  const auto res = br::execute<u64>(plan, br::ReduceOp::sum, in);
+  EXPECT_NE(br::verify<u64>(plan, br::ReduceOp::sum, in, res), "");
 }
 
 // --- Volume sanity -------------------------------------------------------------

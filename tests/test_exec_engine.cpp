@@ -1,0 +1,342 @@
+// Compiled execution engine tests: compiled-vs-nested-reference parity
+// across the whole registry (buffers, contributor sets, message accounting),
+// cached-plan/direct-lowering equivalence, duplicate-contribution detection
+// parity, threaded-executor determinism, Runner's verified-execution path on
+// all four topology-family profiles with the cache on and off, and
+// shared-process-cache hits across Runner instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/registry.hpp"
+#include "harness/runner.hpp"
+#include "net/profiles.hpp"
+#include "runtime/compiled_executor.hpp"
+#include "runtime/exec_plan.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/threaded_executor.hpp"
+#include "runtime/verify.hpp"
+#include "sched/schedule_cache.hpp"
+
+using namespace bine;
+
+namespace {
+
+std::vector<std::vector<u64>> make_inputs(i64 p, i64 elems) {
+  std::vector<std::vector<u64>> in(static_cast<size_t>(p));
+  for (i64 r = 0; r < p; ++r) {
+    in[static_cast<size_t>(r)].resize(static_cast<size_t>(elems));
+    for (i64 e = 0; e < elems; ++e)
+      in[static_cast<size_t>(r)][static_cast<size_t>(e)] =
+          static_cast<u64>(r) * 7919u + static_cast<u64>(e);
+  }
+  return in;
+}
+
+/// Bit-exact comparison of a compiled result against the nested reference:
+/// validity, data, contributor sets, and message accounting.
+void expect_matches_reference(const runtime::ExecResult<u64>& ref,
+                              const runtime::CompiledExecResult<u64>& got,
+                              i64 p, i64 nblocks, const std::string& what) {
+  EXPECT_EQ(got.messages, ref.messages) << what;
+  EXPECT_EQ(got.wire_bytes, ref.wire_bytes) << what;
+  for (Rank r = 0; r < p; ++r)
+    for (i64 b = 0; b < nblocks; ++b) {
+      const auto& slot = ref.ranks[static_cast<size_t>(r)].slots[static_cast<size_t>(b)];
+      ASSERT_EQ(got.is_valid(r, b), slot.valid)
+          << what << " rank " << r << " block " << b;
+      if (!slot.valid) continue;
+      const auto data = got.block(r, b);
+      ASSERT_EQ(std::vector<u64>(data.begin(), data.end()), slot.data)
+          << what << " rank " << r << " block " << b;
+      EXPECT_TRUE(got.contributors(r, b) == slot.contributors)
+          << what << " rank " << r << " block " << b;
+    }
+}
+
+}  // namespace
+
+// The tentpole invariant: for EVERY registered algorithm of every collective
+// (topology-specialized torus/hierarchical generators included), the compiled
+// executor must be bit-exact with the nested reference -- and must satisfy
+// the collective's postcondition through the compiled verify overload.
+TEST(ExecEngine, CompiledMatchesReferenceAcrossRegistry) {
+  for (const sched::Collective coll : coll::all_collectives()) {
+    for (const auto& entry : coll::algorithms_for(coll)) {
+      for (const i64 p : {16, 24}) {
+        if (entry.pow2_only && !is_pow2(p)) continue;
+        SCOPED_TRACE(std::string(to_string(coll)) + "/" + entry.name +
+                     " p=" + std::to_string(p));
+        coll::Config cfg;
+        cfg.p = p;
+        cfg.elem_count = 3 * p + 5;  // non-divisible block sizes included
+        cfg.elem_size = 8;
+        const sched::Schedule sch = entry.make(cfg);
+        const auto inputs = make_inputs(p, cfg.elem_count);
+
+        const auto ref = runtime::execute_reference<u64>(sch, runtime::ReduceOp::sum, inputs);
+        const runtime::ExecPlan plan = runtime::ExecPlan::lower(sch);
+        const auto got = runtime::execute<u64>(plan, runtime::ReduceOp::sum, inputs);
+        expect_matches_reference(ref, got, sch.p, sch.nblocks, entry.name);
+        EXPECT_EQ(runtime::verify<u64>(plan, runtime::ReduceOp::sum, inputs, got), "");
+      }
+    }
+  }
+}
+
+// A plan re-materialized from the cache's execution overlay must be
+// indistinguishable from one lowered directly off the nested schedule, at
+// any vector size -- the execution analogue of resolve-vs-lower parity.
+TEST(ExecEngine, PlanFromSizeFreeMatchesDirectLowering) {
+  const struct {
+    sched::Collective coll;
+    const char* name;
+  } cases[] = {
+      {sched::Collective::allreduce, "recursive_doubling"},
+      {sched::Collective::allreduce, "rabenseifner"},
+      {sched::Collective::allreduce, "bine_two_trans"},
+      {sched::Collective::allreduce, "ring"},
+      {sched::Collective::bcast, "bine_scatter_allgather"},
+      {sched::Collective::reduce, "bine_rs_gather"},
+      {sched::Collective::reduce_scatter, "bine_block"},
+      {sched::Collective::allgather, "bruck"},
+      {sched::Collective::gather, "bine"},
+      {sched::Collective::alltoall, "bruck"},
+  };
+  for (const i64 p : {16, 24}) {
+    for (const auto& c : cases) {
+      const auto& entry = coll::find_algorithm(c.coll, c.name);
+      if (entry.pow2_only && !is_pow2(p)) continue;
+      SCOPED_TRACE(std::string(c.name) + " p=" + std::to_string(p));
+
+      coll::Config build_cfg;
+      build_cfg.p = p;
+      build_cfg.elem_count = 5 * p + 1;  // build size != any resolved size
+      build_cfg.elem_size = 8;
+      const sched::SizeFreeSchedule sf =
+          sched::SizeFreeSchedule::from(entry.make(build_cfg));
+      ASSERT_TRUE(sf.size_independent);
+
+      for (const i64 elem_count : {p, 3 * p + 5, i64{8192}}) {
+        coll::Config cfg = build_cfg;
+        cfg.elem_count = elem_count;
+        const runtime::ExecPlan direct = runtime::ExecPlan::lower(entry.make(cfg));
+        const runtime::ExecPlan cached = runtime::ExecPlan::from_size_free(
+            sf, c.coll, cfg.root, cfg.elem_count, cfg.elem_size);
+        EXPECT_EQ(cached.step_begin, direct.step_begin);
+        EXPECT_EQ(cached.to, direct.to);
+        EXPECT_EQ(cached.from, direct.from);
+        EXPECT_EQ(cached.reduce, direct.reduce);
+        EXPECT_EQ(cached.op_bytes, direct.op_bytes);
+        EXPECT_EQ(cached.block_begin, direct.block_begin);
+        EXPECT_EQ(cached.ids, direct.ids);
+        EXPECT_EQ(cached.block_off, direct.block_off);
+        EXPECT_EQ(cached.run_begin, direct.run_begin);
+        EXPECT_EQ(cached.total_wire_bytes, direct.total_wire_bytes);
+
+        const auto inputs = make_inputs(p, elem_count);
+        const auto a = runtime::execute<u64>(direct, runtime::ReduceOp::sum, inputs);
+        const auto b = runtime::execute<u64>(cached, runtime::ReduceOp::sum, inputs);
+        EXPECT_EQ(a.data, b.data);
+        EXPECT_EQ(a.contrib, b.contrib);
+        EXPECT_EQ(a.valid, b.valid);
+        EXPECT_EQ(a.messages, b.messages);
+        EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+      }
+    }
+  }
+}
+
+// The data-dependent correctness hazard (Appendix C): a schedule that folds
+// the same contributor twice must throw in the compiled engine exactly as it
+// does in both nested references -- sequentially and threaded.
+TEST(ExecEngine, DuplicateContributionDetectionParity) {
+  coll::Config cfg;
+  cfg.p = 4;
+  cfg.elem_count = 8;
+  sched::Schedule sch = coll::make_base(sched::Collective::reduce, cfg, "broken",
+                                        sched::BlockSpace::per_vector);
+  sch.add_exchange(0, 1, 0, sched::BlockSet::all(4), true);
+  sch.add_exchange(1, 1, 0, sched::BlockSet::all(4), true);
+  sch.add_exchange(0, 3, 2, sched::BlockSet::all(4), true);
+  sch.normalize_steps();
+  const auto in = make_inputs(4, 8);
+  EXPECT_THROW(runtime::execute_reference<u64>(sch, runtime::ReduceOp::sum, in),
+               std::runtime_error);
+  EXPECT_THROW(runtime::execute_threaded_reference<u64>(sch, runtime::ReduceOp::sum, in),
+               std::runtime_error);
+  const runtime::ExecPlan plan = runtime::ExecPlan::lower(sch);
+  EXPECT_THROW((void)runtime::execute<u64>(plan, runtime::ReduceOp::sum, in),
+               std::runtime_error);
+  EXPECT_THROW((void)runtime::execute<u64>(plan, runtime::ReduceOp::sum, in, 4),
+               std::runtime_error);
+}
+
+// Structurally broken schedules must be rejected at plan-lowering time (the
+// compiled analogue of the reference's runtime validate-and-throw).
+TEST(ExecEngine, LoweringRejectsInvalidSchedules) {
+  coll::Config cfg;
+  cfg.p = 4;
+  cfg.elem_count = 8;
+  sched::Schedule sch = coll::make_base(sched::Collective::bcast, cfg, "unmatched",
+                                        sched::BlockSpace::per_vector);
+  // Hand-craft a send with no matching recv.
+  sch.steps[0].resize(1);
+  sch.steps[0][0].ops.push_back(
+      {sched::OpKind::send, 1, sched::BlockSet::all(4), 8 * 4, 1});
+  sch.normalize_steps();
+  EXPECT_THROW((void)runtime::ExecPlan::lower(sch), std::runtime_error);
+
+  sched::Schedule coarse = coll::make_base(sched::Collective::bcast, cfg, "coarse",
+                                           sched::BlockSpace::per_vector);
+  coarse.detail = false;
+  coarse.normalize_steps();
+  EXPECT_THROW((void)runtime::ExecPlan::lower(coarse), std::runtime_error);
+}
+
+// Threaded phase fan-out must be bit-identical to the sequential pass for
+// the BINE_THREADS values CI pins (1 and 4).
+TEST(ExecEngine, ThreadedExecutionIsDeterministic) {
+  const std::vector<std::pair<sched::Collective, const char*>> cases = {
+      {sched::Collective::allreduce, "bine_two_trans"},
+      {sched::Collective::allreduce, "recursive_doubling"},
+      {sched::Collective::reduce_scatter, "bine_permute"},
+      {sched::Collective::allgather, "bine_send"},
+      {sched::Collective::alltoall, "bine"},
+      {sched::Collective::bcast, "bine"},
+  };
+  for (const auto& [coll, name] : cases) {
+    // 53 elements stays below the executor's parallel grain (sequential
+    // fallback under threads=4); 8192 crosses it, so the parallel_for fan-out
+    // genuinely runs.
+    for (const i64 elems : {i64{53}, i64{8192}}) {
+      SCOPED_TRACE(std::string(name) + " elems=" + std::to_string(elems));
+      coll::Config cfg;
+      cfg.p = 16;
+      cfg.elem_count = elems;
+      cfg.elem_size = 8;
+      const sched::Schedule sch = coll::find_algorithm(coll, name).make(cfg);
+      const runtime::ExecPlan plan = runtime::ExecPlan::lower(sch);
+      const auto inputs = make_inputs(cfg.p, cfg.elem_count);
+      const auto seq = runtime::execute<u64>(plan, runtime::ReduceOp::sum, inputs, 1);
+      const auto thr = runtime::execute<u64>(plan, runtime::ReduceOp::sum, inputs, 4);
+      EXPECT_EQ(seq.data, thr.data);
+      EXPECT_EQ(seq.contrib, thr.contrib);
+      EXPECT_EQ(seq.valid, thr.valid);
+      EXPECT_EQ(seq.messages, thr.messages);
+      EXPECT_EQ(seq.wire_bytes, thr.wire_bytes);
+      EXPECT_EQ(runtime::verify<u64>(plan, runtime::ReduceOp::sum, inputs, thr), "");
+    }
+  }
+}
+
+// Floating-point min/max are not bit-commutative (+/-0.0 ties resolve to
+// the FIRST operand), so the fused symmetric-exchange kernel must evaluate
+// each direction with its own operand order. Signed zeros compare equal
+// under ==, hence the bitwise comparison.
+TEST(ExecEngine, FusedSymmetricExchangeIsBitExactForFloatMinMax) {
+  coll::Config cfg;
+  cfg.p = 8;
+  cfg.elem_count = 64;
+  cfg.elem_size = 8;
+  const sched::Schedule sch =
+      coll::find_algorithm(sched::Collective::allreduce, "recursive_doubling").make(cfg);
+  const runtime::ExecPlan plan = runtime::ExecPlan::lower(sch);
+  ASSERT_TRUE(std::find(plan.fused.begin(), plan.fused.end(), 1) != plan.fused.end())
+      << "recursive doubling exchanges should fuse";
+
+  std::vector<std::vector<double>> in(8);
+  for (i64 r = 0; r < 8; ++r) {
+    in[static_cast<size_t>(r)].resize(64);
+    for (i64 e = 0; e < 64; ++e)  // alternating +0.0 / -0.0 tie patterns
+      in[static_cast<size_t>(r)][static_cast<size_t>(e)] = ((r + e) % 2 == 0) ? 0.0 : -0.0;
+  }
+  for (const runtime::ReduceOp op : {runtime::ReduceOp::min, runtime::ReduceOp::max}) {
+    SCOPED_TRACE(to_string(op));
+    const auto ref = runtime::execute_reference<double>(sch, op, in);
+    const auto got = runtime::execute<double>(plan, op, in);
+    for (Rank r = 0; r < 8; ++r)
+      for (i64 b = 0; b < 8; ++b) {
+        const auto& slot = ref.ranks[static_cast<size_t>(r)].slots[static_cast<size_t>(b)];
+        ASSERT_TRUE(slot.valid);
+        const auto data = got.block(r, b);
+        ASSERT_EQ(data.size(), slot.data.size());
+        EXPECT_EQ(std::memcmp(data.data(), slot.data.data(), data.size() * sizeof(double)),
+                  0)
+            << "rank " << r << " block " << b;
+      }
+  }
+}
+
+// Runner::run_verified must succeed -- with identical accounting -- across
+// every topology-family profile, cache on and off, threads 1 and 4. The
+// cached path (plan from the shared size-free IR) and the fresh path (plan
+// lowered off a new schedule) must agree exactly.
+TEST(ExecEngine, RunnerVerifiedExecutionAcrossProfilesAndCacheModes) {
+  std::vector<net::SystemProfile> profiles;
+  profiles.push_back(net::lumi_profile());
+  profiles.push_back(net::leonardo_profile());
+  profiles.push_back(net::fugaku_profile({4, 4, 4}));
+  profiles.push_back(net::multigpu_profile());
+
+  const std::vector<std::pair<sched::Collective, const char*>> cases = {
+      {sched::Collective::allreduce, "bine_two_trans"},
+      {sched::Collective::allreduce, "rabenseifner"},
+      {sched::Collective::bcast, "bine"},
+      {sched::Collective::reduce_scatter, "bine_block"},
+      {sched::Collective::alltoall, "bruck"},
+  };
+  for (auto& profile : profiles) {
+    harness::Runner cached(profile);
+    harness::Runner uncached(profile);
+    cached.set_schedule_cache(true);
+    cached.use_private_schedule_cache();
+    uncached.set_schedule_cache(false);
+    for (const auto& [coll, name] : cases) {
+      const auto& entry = coll::find_algorithm(coll, name);
+      for (const i64 threads : {1, 4}) {
+        SCOPED_TRACE(profile.name + "/" + name + " threads=" + std::to_string(threads));
+        const harness::VerifiedRun a = cached.run_verified(coll, entry, 64, 16384, threads);
+        const harness::VerifiedRun b =
+            uncached.run_verified(coll, entry, 64, 16384, threads);
+        EXPECT_TRUE(a.ok) << a.error;
+        EXPECT_TRUE(b.ok) << b.error;
+        EXPECT_TRUE(a.used_cache);
+        EXPECT_FALSE(b.used_cache);
+        EXPECT_EQ(a.messages, b.messages);
+        EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+      }
+    }
+    const auto stats = cached.schedule_cache_stats();
+    EXPECT_GT(stats.hits, 0u) << profile.name;  // threads=4 rerun hits the entry
+  }
+}
+
+// The acceptance criterion for the process-wide cache: a second Runner in
+// the same process -- even on a different system profile -- gets pure hits
+// for cells a first Runner already built.
+TEST(ExecEngine, SecondRunnerHitsProcessWideScheduleCache) {
+  const auto& entry =
+      coll::find_algorithm(sched::Collective::allreduce, "bine_two_trans");
+
+  harness::Runner first(net::lumi_profile());
+  first.set_schedule_cache(true);
+  (void)first.run(sched::Collective::allreduce, entry, 64, 16384);
+  ASSERT_TRUE(first.schedule_cache_enabled());
+
+  const auto before = sched::process_schedule_cache().stats();
+  harness::Runner second(net::leonardo_profile());  // different profile, same cache
+  second.set_schedule_cache(true);
+  (void)second.run(sched::Collective::allreduce, entry, 64, 16384);
+  const harness::VerifiedRun v =
+      second.run_verified(sched::Collective::allreduce, entry, 64, 16384);
+  EXPECT_TRUE(v.ok) << v.error;
+  EXPECT_TRUE(v.used_cache);
+  const auto after = sched::process_schedule_cache().stats();
+  EXPECT_EQ(after.misses, before.misses);     // nothing regenerated...
+  EXPECT_GE(after.hits, before.hits + 2u);    // ...simulate AND execute both hit
+}

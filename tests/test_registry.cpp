@@ -5,7 +5,7 @@
 #include <set>
 
 #include "coll/registry.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/compiled_executor.hpp"
 #include "runtime/verify.hpp"
 
 using namespace bine;
@@ -67,8 +67,9 @@ TEST(Registry, RecommendedAlgorithmsExecuteCorrectly) {
             inputs[static_cast<size_t>(r)][static_cast<size_t>(e)] =
                 static_cast<u64>(r * 31 + e);
         }
-        const auto res = runtime::execute<u64>(sch, runtime::ReduceOp::sum, inputs);
-        EXPECT_EQ(runtime::verify<u64>(sch, runtime::ReduceOp::sum, inputs, res), "")
+        const runtime::ExecPlan plan = runtime::ExecPlan::lower(sch);
+        const auto res = runtime::execute<u64>(plan, runtime::ReduceOp::sum, inputs);
+        EXPECT_EQ(runtime::verify<u64>(plan, runtime::ReduceOp::sum, inputs, res), "")
             << to_string(coll) << " p=" << p << " bytes=" << bytes << " -> "
             << entry.name;
       }

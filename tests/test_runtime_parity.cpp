@@ -1,5 +1,6 @@
-// Threaded-vs-sequential executor equivalence, and the closed-form gather
-// buffer ranges of paper Sec. 4.1/4.2.
+// Threaded-vs-sequential reference-executor equivalence (the nested oracles
+// the compiled engine is checked against; see test_exec_engine.cpp), and the
+// closed-form gather buffer ranges of paper Sec. 4.1/4.2.
 #include <gtest/gtest.h>
 
 #include "coll/registry.hpp"
@@ -44,8 +45,8 @@ TEST(ThreadedExecutor, MatchesSequentialAcrossAlgorithms) {
     cfg.elem_size = 8;
     const sched::Schedule sch = coll::find_algorithm(coll, algo).make(cfg);
     const auto inputs = make_inputs(cfg.p, cfg.elem_count);
-    const auto seq = runtime::execute<u64>(sch, runtime::ReduceOp::sum, inputs);
-    const auto thr = runtime::execute_threaded<u64>(sch, runtime::ReduceOp::sum, inputs);
+    const auto seq = runtime::execute_reference<u64>(sch, runtime::ReduceOp::sum, inputs);
+    const auto thr = runtime::execute_threaded_reference<u64>(sch, runtime::ReduceOp::sum, inputs);
     ASSERT_EQ(seq.ranks.size(), thr.ranks.size()) << algo;
     EXPECT_EQ(seq.messages, thr.messages);
     EXPECT_EQ(seq.wire_bytes, thr.wire_bytes);
@@ -74,7 +75,7 @@ TEST(ThreadedExecutor, DetectsDuplicateContribution) {
   sch.add_exchange(0, 3, 2, sched::BlockSet::all(4), true);
   sch.normalize_steps();
   const auto in = make_inputs(4, 8);
-  EXPECT_THROW(runtime::execute_threaded<u64>(sch, runtime::ReduceOp::sum, in),
+  EXPECT_THROW(runtime::execute_threaded_reference<u64>(sch, runtime::ReduceOp::sum, in),
                std::runtime_error);
 }
 

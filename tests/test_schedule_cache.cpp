@@ -8,6 +8,8 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,16 +25,21 @@ using namespace bine;
 
 namespace {
 
+template <class T>
+std::vector<T> as_vec(std::span<const T> s) {
+  return {s.begin(), s.end()};
+}
+
 void expect_same_ir(const sched::CompiledSchedule& a, const sched::CompiledSchedule& b,
                     const std::string& what) {
   EXPECT_EQ(a.p, b.p) << what;
   EXPECT_EQ(a.steps, b.steps) << what;
-  EXPECT_EQ(a.step_begin, b.step_begin) << what;
-  EXPECT_EQ(a.kind, b.kind) << what;
-  EXPECT_EQ(a.rank, b.rank) << what;
-  EXPECT_EQ(a.peer, b.peer) << what;
-  EXPECT_EQ(a.bytes, b.bytes) << what;
-  EXPECT_EQ(a.extra_segments, b.extra_segments) << what;
+  EXPECT_EQ(as_vec(a.step_begin), as_vec(b.step_begin)) << what;
+  EXPECT_EQ(as_vec(a.kind), as_vec(b.kind)) << what;
+  EXPECT_EQ(as_vec(a.rank), as_vec(b.rank)) << what;
+  EXPECT_EQ(as_vec(a.peer), as_vec(b.peer)) << what;
+  EXPECT_EQ(as_vec(a.bytes), as_vec(b.bytes)) << what;
+  EXPECT_EQ(as_vec(a.extra_segments), as_vec(b.extra_segments)) << what;
 }
 
 }  // namespace
@@ -72,9 +79,9 @@ TEST(SizeFreeSchedule, ResolvesToFreshLoweringAtEverySize) {
       coll::Config build_cfg;
       build_cfg.p = p;
       build_cfg.elem_count = 3 * p + 1;  // canonical size != any probed size
-      const sched::SizeFreeSchedule sf =
-          sched::SizeFreeSchedule::from(entry.make(build_cfg));
-      ASSERT_TRUE(sf.size_independent);
+      const auto sf = std::make_shared<const sched::SizeFreeSchedule>(
+          sched::SizeFreeSchedule::from(entry.make(build_cfg)));
+      ASSERT_TRUE(sf->size_independent);
 
       sched::CompiledSchedule resolved;
       for (const i64 elem_count : {p, 2 * p, 7 * p + 3, i64{262144}}) {
@@ -82,8 +89,13 @@ TEST(SizeFreeSchedule, ResolvesToFreshLoweringAtEverySize) {
         cfg.elem_count = elem_count;
         const sched::CompiledSchedule fresh =
             sched::CompiledSchedule::lower(entry.make(cfg));
-        sf.resolve_into(cfg.elem_count, cfg.elem_size, resolved);
+        sched::SizeFreeSchedule::resolve_into(sf, cfg.elem_count, cfg.elem_size,
+                                              resolved);
         expect_same_ir(resolved, fresh, "elem_count=" + std::to_string(elem_count));
+        // The size-invariant columns must be shared, not copied: that is the
+        // point of the span-based resolve (O(bytes column) per cell).
+        EXPECT_EQ(resolved.kind.data(), sf->kind.data());
+        EXPECT_EQ(resolved.step_begin.data(), sf->step_begin.data());
       }
     }
   }
@@ -173,6 +185,7 @@ TEST(ScheduleCache, CachedRunsMatchUncachedAcrossTopologyFamilies) {
     harness::Runner cached(profile);
     harness::Runner uncached(profile);
     cached.set_schedule_cache(true);
+    cached.use_private_schedule_cache();  // per-profile stats for the assert below
     uncached.set_schedule_cache(false);
     for (const sched::Collective coll : colls) {
       for (const auto& entry : coll::algorithms_for(coll)) {

@@ -4,6 +4,7 @@
 // safety, and thread-count determinism of the parallel sweep runner.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -146,12 +147,15 @@ TEST(CompiledSchedule, LoweringPreservesOpsInStepRankOrder) {
   const sched::CompiledSchedule fresh = sched::CompiledSchedule::lower(sch2);
   EXPECT_EQ(scratch.p, fresh.p);
   EXPECT_EQ(scratch.steps, fresh.steps);
-  EXPECT_EQ(scratch.step_begin, fresh.step_begin);
-  EXPECT_EQ(scratch.kind, fresh.kind);
-  EXPECT_EQ(scratch.rank, fresh.rank);
-  EXPECT_EQ(scratch.peer, fresh.peer);
-  EXPECT_EQ(scratch.bytes, fresh.bytes);
-  EXPECT_EQ(scratch.extra_segments, fresh.extra_segments);
+  const auto same = [](auto a, auto b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  };
+  EXPECT_TRUE(same(scratch.step_begin, fresh.step_begin));
+  EXPECT_TRUE(same(scratch.kind, fresh.kind));
+  EXPECT_TRUE(same(scratch.rank, fresh.rank));
+  EXPECT_TRUE(same(scratch.peer, fresh.peer));
+  EXPECT_TRUE(same(scratch.bytes, fresh.bytes));
+  EXPECT_TRUE(same(scratch.extra_segments, fresh.extra_segments));
 }
 
 TEST(SimEngine, CompiledMatchesReferenceAcrossTopologies) {
