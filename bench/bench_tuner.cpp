@@ -1,0 +1,204 @@
+// Autotuner benchmark: (1) tuned dispatch vs the best single fixed algorithm
+// on a multi-system, multi-collective sweep -- the payoff of persisting the
+// sweep winners instead of throwing them away -- and (2) sharded vs serial
+// decision-table build, exercising the cross-system parallelism the table
+// benches never had (one work item per (system, collective, p) cell, all
+// sharing the process-wide schedule cache).
+//
+// The dispatch comparison is evaluated on the tuning grid PLUS off-grid
+// midpoint sizes, so the tuned table is also judged between its own
+// crossover points. A "fixed" baseline commits to one algorithm per
+// collective across every system, node count and size -- the strongest
+// configuration a no-tuning deployment can pick -- and the best such
+// baseline is found exhaustively. Parity gate: at every grid size the tuned
+// selection must equal the exhaustive argmin over the same sweep data.
+//
+// Emits BENCH_tune.json next to the other BENCH_* snapshots.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coll/registry.hpp"
+#include "harness/runner.hpp"
+#include "harness/tuned_runner.hpp"
+#include "net/profiles.hpp"
+#include "tune/decision_table.hpp"
+#include "tune/tuner.hpp"
+
+using namespace bine;
+using sched::Collective;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+const std::vector<Collective> kColls = {Collective::allreduce, Collective::allgather,
+                                        Collective::bcast};
+const std::vector<i64> kNodes = {16, 24, 32, 48, 64};
+
+std::vector<net::SystemProfile> systems() {
+  return {net::lumi_profile(), net::leonardo_profile(), net::mn5_profile()};
+}
+
+tune::TunerOptions tuner_options(i64 threads) {
+  tune::TunerOptions opts;
+  opts.size_grid = harness::paper_vector_sizes(false);
+  opts.threads = threads;
+  return opts;
+}
+
+/// Tuning grid plus the geometric midpoint of every adjacent pair: judges
+/// the table between its own crossover points too.
+std::vector<i64> eval_sizes(const std::vector<i64>& grid) {
+  std::vector<i64> sizes = grid;
+  for (size_t i = 0; i + 1 < grid.size(); ++i)
+    sizes.push_back(static_cast<i64>(
+        std::llround(std::sqrt(static_cast<double>(grid[i]) *
+                               static_cast<double>(grid[i + 1])))));
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  return sizes;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<net::SystemProfile> profiles = systems();
+  const tune::TunerOptions opts = tuner_options(1);
+  const i64 cells = static_cast<i64>(profiles.size() * kColls.size() * kNodes.size());
+  std::printf("tuning workload: %zu systems x %zu collectives x %zu node counts = "
+              "%lld cells, %zu-point size grid\n",
+              profiles.size(), kColls.size(), kNodes.size(),
+              static_cast<long long>(cells), opts.size_grid.size());
+
+  // --- sharded vs serial table build -------------------------------------
+  // One prewarm build populates the process-wide schedule cache (generation
+  // is shared state; the timed builds isolate the sharding axis, not cold
+  // caches). Best of 3 rounds per mode.
+  (void)tune::Tuner(tuner_options(1)).build(profiles, kColls, kNodes);
+  const auto time_build = [&](i64 threads) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < 3; ++round) {
+      const auto t0 = Clock::now();
+      (void)tune::Tuner(tuner_options(threads)).build(profiles, kColls, kNodes);
+      best = std::min(best, seconds_since(t0));
+    }
+    return best;
+  };
+  const double serial_s = time_build(1);
+  const double sharded_s = time_build(4);
+  const double build_speedup = serial_s / sharded_s;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("table build:  serial %8.2f ms   sharded(4) %8.2f ms   %.2fx "
+              "(%u hardware threads)\n",
+              1e3 * serial_s, 1e3 * sharded_s, build_speedup, cores);
+
+  // Determinism gate: sharded and serial builds must be byte-identical.
+  const tune::DecisionTable table = tune::Tuner(tuner_options(1)).build(profiles, kColls, kNodes);
+  const tune::DecisionTable table4 = tune::Tuner(tuner_options(4)).build(profiles, kColls, kNodes);
+  if (table.dump() != table4.dump()) {
+    std::fprintf(stderr, "FAIL: sharded build diverges from serial build\n");
+    return 1;
+  }
+
+  // --- tuned dispatch vs best single fixed algorithm ---------------------
+  const std::vector<i64> sizes = eval_sizes(opts.size_grid);
+  std::vector<std::unique_ptr<harness::Runner>> runners;
+  runners.reserve(profiles.size());
+  for (const auto& profile : profiles)
+    runners.push_back(std::make_unique<harness::Runner>(profile));
+
+  bool select_parity = true;
+  double tuned_total = 0;
+  std::map<std::string, double> fixed_totals;  // per-coll candidate -> total
+  std::string fixed_report;
+  double best_fixed_total = 0;
+
+  for (size_t ci = 0; ci < kColls.size(); ++ci) {
+    const Collective coll = kColls[ci];
+    // Fixed candidates must apply everywhere they are judged.
+    std::vector<const coll::AlgorithmEntry*> fixed;
+    for (const auto& entry : coll::algorithms_for(coll))
+      if (!entry.specialized && !entry.pow2_only) fixed.push_back(&entry);
+
+    double tuned_coll = 0;
+    std::map<std::string, double> totals;
+    for (size_t pi = 0; pi < profiles.size(); ++pi) {
+      for (const i64 p : kNodes) {
+        for (const i64 size : sizes) {
+          const tune::Selection sel = tune::select(table, profiles[pi], coll, p, size);
+          tuned_coll += runners[pi]->run(coll, *sel.entry, p, size).seconds;
+          for (const coll::AlgorithmEntry* cand : fixed)
+            totals[cand->name] += runners[pi]->run(coll, *cand, p, size).seconds;
+          // Parity gate at grid sizes: tuned selection == exhaustive argmin.
+          if (std::binary_search(opts.size_grid.begin(), opts.size_grid.end(), size)) {
+            double best = std::numeric_limits<double>::infinity();
+            std::string best_name;
+            for (const coll::AlgorithmEntry* cand : tune::Tuner::candidates(coll, p)) {
+              const double s = runners[pi]->run(coll, *cand, p, size).seconds;
+              if (s < best) { best = s; best_name = cand->name; }
+            }
+            if (sel.entry->name != best_name) select_parity = false;
+          }
+        }
+      }
+    }
+    const auto best = std::min_element(
+        totals.begin(), totals.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    std::printf("%-15s tuned %10.4f s   best fixed %-20s %10.4f s   gain %.2fx\n",
+                to_string(coll), tuned_coll, best->first.c_str(), best->second,
+                best->second / tuned_coll);
+    fixed_report += std::string(ci ? ", " : "") + "\"" + to_string(coll) +
+                    "\": \"" + best->first + "\"";
+    tuned_total += tuned_coll;
+    best_fixed_total += best->second;
+  }
+  const double dispatch_speedup = best_fixed_total / tuned_total;
+  std::printf("overall: tuned %10.4f s   best-fixed-per-collective %10.4f s   "
+              "gain %.2fx   (select parity: %s)\n",
+              tuned_total, best_fixed_total, dispatch_speedup,
+              select_parity ? "exact" : "FAILED");
+
+  if (std::FILE* f = std::fopen("BENCH_tune.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"tuner\",\n"
+                 "  \"systems\": %zu,\n"
+                 "  \"collectives\": %zu,\n"
+                 "  \"cells\": %lld,\n"
+                 "  \"grid_sizes\": %zu,\n"
+                 "  \"eval_sizes\": %zu,\n"
+                 "  \"tuned_total_s\": %.6f,\n"
+                 "  \"best_fixed_total_s\": %.6f,\n"
+                 "  \"tuned_vs_best_fixed_speedup\": %.3f,\n"
+                 "  \"best_fixed_algorithms\": {%s},\n"
+                 "  \"select_parity_with_argmin\": %s,\n"
+                 "  \"build_serial_ms\": %.3f,\n"
+                 "  \"build_sharded_threads\": 4,\n"
+                 "  \"build_sharded_ms\": %.3f,\n"
+                 "  \"build_sharded_speedup\": %.2f,\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"sharded_equals_serial\": true\n"
+                 "}\n",
+                 profiles.size(), kColls.size(), static_cast<long long>(cells),
+                 opts.size_grid.size(), sizes.size(), tuned_total, best_fixed_total,
+                 dispatch_speedup, fixed_report.c_str(),
+                 select_parity ? "true" : "false", 1e3 * serial_s, 1e3 * sharded_s,
+                 build_speedup, cores);
+    std::fclose(f);
+    std::printf("wrote BENCH_tune.json\n");
+  }
+
+  return (select_parity && tuned_total < best_fixed_total) ? 0 : 1;
+}

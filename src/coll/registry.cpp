@@ -154,6 +154,18 @@ const AlgorithmEntry& find_algorithm(Collective coll, const std::string& name) {
                           to_string(coll));
 }
 
+bool has_algorithm(Collective coll, const std::string& name) {
+  for (const AlgorithmEntry& e : algorithms_for(coll))
+    if (e.name == name) return true;
+  return false;
+}
+
+Collective collective_from_name(std::string_view name) {
+  for (const Collective coll : all_collectives())
+    if (name == to_string(coll)) return coll;
+  throw std::out_of_range("unknown collective '" + std::string(name) + "'");
+}
+
 const AlgorithmEntry& recommended_algorithm(Collective coll, i64 p, i64 vector_bytes) {
   // The paper's small/large switch point sits in the tens of KiB on the
   // evaluated systems; the exact threshold is a tuning knob.

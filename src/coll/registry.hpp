@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "coll/config.hpp"
@@ -30,6 +31,14 @@ struct AlgorithmEntry {
 /// Lookup by (collective, name); throws std::out_of_range if absent.
 [[nodiscard]] const AlgorithmEntry& find_algorithm(sched::Collective coll,
                                                    const std::string& name);
+
+/// True when `name` is registered for `coll`. Decision-table loading uses
+/// this to demote algorithms that no longer exist instead of serving them.
+[[nodiscard]] bool has_algorithm(sched::Collective coll, const std::string& name);
+
+/// Inverse of to_string(Collective); throws std::out_of_range on unknown
+/// names (decision-table deserialization).
+[[nodiscard]] sched::Collective collective_from_name(std::string_view name);
 
 /// All eight collectives.
 [[nodiscard]] const std::vector<sched::Collective>& all_collectives();

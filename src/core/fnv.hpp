@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstring>
+#include <string_view>
+
+#include "core/types.hpp"
+
+/// Shared FNV-1a hashing primitives. Two folds over the same constants:
+/// byte-wise (canonical FNV-1a; used for fingerprints over short strings and
+/// scalars, where exact byte framing matters more than speed) and word-wise
+/// (8 bytes per multiply; used for digests over megabyte-scale state arrays,
+/// where a byte-wise fold would dominate the work being digested). The two
+/// folds produce different values by design -- they hash different domains --
+/// but both must never drift from these shared constants.
+namespace bine::core {
+
+inline constexpr u64 kFnvOffset = 1469598103934665603ull;
+inline constexpr u64 kFnvPrime = 1099511628211ull;
+
+/// Canonical byte-at-a-time FNV-1a fold.
+inline void fnv_mix_bytes(u64& h, const void* data, size_t nbytes) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < nbytes; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+/// NUL-terminated string fold (the terminator keeps "ab","c" != "a","bc").
+inline void fnv_mix_string(u64& h, std::string_view s) {
+  fnv_mix_bytes(h, s.data(), s.size());
+  const char sep = '\0';
+  fnv_mix_bytes(h, &sep, 1);
+}
+
+/// u64-word-at-a-time fold (tail bytes zero-padded): one multiply per 8
+/// bytes, for digesting large flat arrays.
+inline void fnv_mix_words(u64& h, const void* data, size_t nbytes) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  size_t i = 0;
+  for (; i + 8 <= nbytes; i += 8) {
+    u64 word;
+    std::memcpy(&word, bytes + i, 8);
+    h = (h ^ word) * kFnvPrime;
+  }
+  if (i < nbytes) {
+    u64 word = 0;
+    std::memcpy(&word, bytes + i, nbytes - i);
+    h = (h ^ word) * kFnvPrime;
+  }
+}
+
+}  // namespace bine::core

@@ -1,10 +1,14 @@
 #include "harness/runner.hpp"
 
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <tuple>
+#include <type_traits>
 
+#include "core/fnv.hpp"
 #include "harness/parallel.hpp"
 #include "net/simulate.hpp"
 #include "runtime/compiled_executor.hpp"
@@ -83,10 +87,10 @@ Runner::Sized& Runner::sized_for(i64 nodes) {
   return cache_.emplace(nodes, std::move(sized)).first->second;
 }
 
-coll::Config Runner::cell_config(i64 nodes, i64 size_bytes) const {
+coll::Config Runner::cell_config(i64 nodes, i64 size_bytes, i64 elem_size) const {
   coll::Config cfg;
   cfg.p = nodes;
-  cfg.elem_size = 4;  // 32-bit integers, as in the paper's methodology
+  cfg.elem_size = elem_size;  // default 4: 32-bit ints, the paper's methodology
   cfg.elem_count = std::max<i64>(nodes, size_bytes / cfg.elem_size);
   cfg.torus_dims = torus_dims;
   return cfg;
@@ -136,44 +140,126 @@ RunResult Runner::run(Collective coll, const coll::AlgorithmEntry& algo, i64 nod
 }
 
 runtime::ExecPlan Runner::exec_plan(Collective coll, const coll::AlgorithmEntry& algo,
-                                    i64 nodes, i64 size_bytes, bool* used_cache) {
-  const coll::Config cfg = cell_config(nodes, size_bytes);
+                                    i64 nodes, i64 size_bytes, bool* used_cache,
+                                    i64 elem_size) {
+  const coll::Config cfg = cell_config(nodes, size_bytes, elem_size);
   if (used_cache) *used_cache = false;
-  if (const auto entry = cached_entry(coll, algo, cfg)) {
+  if (auto entry = cached_entry(coll, algo, cfg)) {
     if (used_cache) *used_cache = true;
-    return runtime::ExecPlan::from_size_free(*entry, coll, cfg.root, cfg.elem_count,
-                                             cfg.elem_size);
+    return runtime::ExecPlan::from_size_free(std::move(entry), coll, cfg.root,
+                                             cfg.elem_count, cfg.elem_size);
   }
   return runtime::ExecPlan::lower(algo.make(cfg));
 }
 
-VerifiedRun Runner::run_verified(Collective coll, const coll::AlgorithmEntry& algo,
-                                 i64 nodes, i64 size_bytes, i64 threads) {
-  VerifiedRun out;
-  try {
-    const runtime::ExecPlan plan =
-        exec_plan(coll, algo, nodes, size_bytes, &out.used_cache);
-    // Deterministic synthetic inputs (elem_size is 4 in cell_config, hence
-    // u32 elements); sum over u32 wraps mod 2^32, which stays deterministic.
-    std::vector<std::vector<std::uint32_t>> inputs(static_cast<size_t>(plan.p));
-    for (i64 r = 0; r < plan.p; ++r) {
-      auto& in = inputs[static_cast<size_t>(r)];
-      in.resize(static_cast<size_t>(plan.elem_count));
-      for (i64 e = 0; e < plan.elem_count; ++e)
-        in[static_cast<size_t>(e)] =
-            static_cast<std::uint32_t>(r) * 2654435761u + static_cast<std::uint32_t>(e);
+namespace {
+
+/// Deterministic synthetic inputs for the verified path. Integral elements
+/// use the full multiplicative-hash pattern (wrapping arithmetic stays
+/// deterministic); floating-point elements are small exact integers, so
+/// sums stay exactly representable (p * 996 << 2^24 for any realistic p)
+/// and sum/min/max produce identical bits in every reduction order -- tree,
+/// butterfly, fused. Products are NOT order-safe for floats (they leave the
+/// exact range immediately); run_verified_impl rejects that combination.
+template <typename T>
+std::vector<std::vector<T>> synthetic_inputs(i64 p, i64 elems) {
+  std::vector<std::vector<T>> inputs(static_cast<size_t>(p));
+  for (i64 r = 0; r < p; ++r) {
+    auto& in = inputs[static_cast<size_t>(r)];
+    in.resize(static_cast<size_t>(elems));
+    for (i64 e = 0; e < elems; ++e) {
+      const std::uint32_t h =
+          static_cast<std::uint32_t>(r) * 2654435761u + static_cast<std::uint32_t>(e);
+      if constexpr (std::is_floating_point_v<T>)
+        in[static_cast<size_t>(e)] = static_cast<T>(h % 997u);
+      else
+        in[static_cast<size_t>(e)] = static_cast<T>(h);
     }
-    const auto res =
-        runtime::execute<std::uint32_t>(plan, runtime::ReduceOp::sum, inputs, threads);
+  }
+  return inputs;
+}
+
+/// Digest of a verified final state: layout scalars plus the raw state
+/// arrays (dense data bit patterns, contributor words, validity bytes),
+/// folded word-wise so digesting stays a small fraction of a verified cell.
+/// Invalid slots hold value-initialized elements, so the digest is a pure
+/// function of the plan and inputs.
+template <typename T>
+u64 state_digest(const runtime::ExecPlan& plan,
+                 const runtime::CompiledExecResult<T>& res) {
+  u64 h = core::kFnvOffset;
+  core::fnv_mix_words(h, &plan.p, sizeof(plan.p));
+  core::fnv_mix_words(h, &plan.nblocks, sizeof(plan.nblocks));
+  core::fnv_mix_words(h, &plan.elems_per_rank, sizeof(plan.elems_per_rank));
+  core::fnv_mix_words(h, res.valid.data(), res.valid.size());
+  core::fnv_mix_words(h, res.contrib.data(), res.contrib.size() * sizeof(u64));
+  core::fnv_mix_words(h, res.data.data(), res.data.size() * sizeof(T));
+  return h;
+}
+
+}  // namespace
+
+template <typename T>
+VerifiedRun Runner::run_verified_impl(Collective coll, const coll::AlgorithmEntry& algo,
+                                      i64 nodes, i64 size_bytes, i64 threads,
+                                      runtime::ReduceOp op) {
+  VerifiedRun out;
+  if (std::is_floating_point_v<T> && op == runtime::ReduceOp::prod) {
+    // Floating-point products are order-dependent (no input domain keeps
+    // them exact), so schedule-order vs reference-order reductions would
+    // diverge bit-wise and fail every correct algorithm. Reject up front
+    // with an actionable error instead of a spurious data mismatch.
+    out.error = "verified execution does not support ReduceOp::prod over "
+                "floating-point elements (order-dependent rounding); use an "
+                "integral element type";
+    return out;
+  }
+  try {
+    const runtime::ExecPlan plan = exec_plan(coll, algo, nodes, size_bytes,
+                                             &out.used_cache, static_cast<i64>(sizeof(T)));
+    const auto inputs = synthetic_inputs<T>(plan.p, plan.elem_count);
+    const auto res = runtime::execute<T>(plan, op, inputs, threads);
     out.messages = res.messages;
     out.wire_bytes = res.wire_bytes;
-    out.error = runtime::verify<std::uint32_t>(plan, runtime::ReduceOp::sum, inputs, res);
+    out.error = runtime::verify<T>(plan, op, inputs, res);
     out.ok = out.error.empty();
+    if (out.ok) out.digest = state_digest<T>(plan, res);
   } catch (const std::exception& e) {
     out.ok = false;
     out.error = e.what();
   }
   return out;
+}
+
+VerifiedRun Runner::run_verified(Collective coll, const coll::AlgorithmEntry& algo,
+                                 i64 nodes, i64 size_bytes, i64 threads,
+                                 runtime::ElemType elem, runtime::ReduceOp op) {
+  switch (elem) {
+    case runtime::ElemType::u32:
+      return run_verified_impl<std::uint32_t>(coll, algo, nodes, size_bytes, threads, op);
+    case runtime::ElemType::u64:
+      return run_verified_impl<std::uint64_t>(coll, algo, nodes, size_bytes, threads, op);
+    case runtime::ElemType::f32:
+      return run_verified_impl<float>(coll, algo, nodes, size_bytes, threads, op);
+    case runtime::ElemType::f64:
+      return run_verified_impl<double>(coll, algo, nodes, size_bytes, threads, op);
+  }
+  throw std::logic_error("unknown element type");
+}
+
+std::vector<VerifiedRun> Runner::sweep_verified(const std::vector<VerifiedQuery>& queries,
+                                                i64 threads, i64 exec_threads) {
+  std::vector<VerifiedRun> results(queries.size());
+  parallel_for(
+      static_cast<i64>(queries.size()),
+      [&](i64 i) {
+        const VerifiedQuery& q = queries[static_cast<size_t>(i)];
+        const auto& entry = coll::find_algorithm(q.coll, q.algorithm);
+        results[static_cast<size_t>(i)] = run_verified(
+            q.coll, entry, q.nodes, q.size_bytes, exec_threads, q.elem, q.op);
+      },
+      threads);
+  return results;
 }
 
 void Runner::use_private_schedule_cache() {

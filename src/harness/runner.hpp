@@ -13,6 +13,7 @@
 #include "net/profiles.hpp"
 #include "net/route_cache.hpp"
 #include "runtime/exec_plan.hpp"
+#include "runtime/reduction.hpp"
 #include "sched/schedule_cache.hpp"
 
 /// Evaluation driver (the stand-in for the paper's PICO framework): runs a
@@ -44,6 +45,23 @@ struct VerifiedRun {
   i64 messages = 0;
   i64 wire_bytes = 0;
   bool used_cache = false; ///< plan came from the shared size-free IR
+  /// FNV-1a digest over the final execution state (validity bytes,
+  /// contributor words, element bit patterns) plus the layout scalars.
+  /// Deterministic for any thread count and identical between the cached and
+  /// fresh plan paths; 0 until the run verified ok. Sweep outputs carry it so
+  /// tuning/refinement stages can trust (and cross-check) verified cells.
+  u64 digest = 0;
+};
+
+/// One cell of a verified-execution sweep: execute `algorithm` over real
+/// buffers with the given element type and reduce op, verify, and digest.
+struct VerifiedQuery {
+  sched::Collective coll{};
+  std::string algorithm;
+  i64 nodes = 0;
+  i64 size_bytes = 0;
+  runtime::ElemType elem = runtime::ElemType::u32;
+  runtime::ReduceOp op = runtime::ReduceOp::sum;
 };
 
 /// Vector sizes used throughout Sec. 5 (bytes): 32 B ... 512 MiB. The bench
@@ -93,15 +111,30 @@ class Runner {
   /// like the simulation path). Callers hand the plan to runtime::execute.
   [[nodiscard]] runtime::ExecPlan exec_plan(sched::Collective coll,
                                             const coll::AlgorithmEntry& algo, i64 nodes,
-                                            i64 size_bytes, bool* used_cache = nullptr);
+                                            i64 size_bytes, bool* used_cache = nullptr,
+                                            i64 elem_size = 4);
 
   /// Execute one cell over deterministic synthetic inputs with the compiled
   /// executor and verify the collective's postcondition. `threads` drives the
   /// executor's phase fan-out (<= 1 sequential). Never throws on semantic
   /// violations -- they come back as a not-ok VerifiedRun.
+  /// `elem`/`op` choose the element type and reduction operator.
+  /// Floating-point inputs are small exact integers, so f32/f64 sum/min/max
+  /// are order-independent and bit-deterministic; float x prod has no such
+  /// domain and comes back not-ok with an actionable error.
   [[nodiscard]] VerifiedRun run_verified(sched::Collective coll,
                                          const coll::AlgorithmEntry& algo, i64 nodes,
-                                         i64 size_bytes, i64 threads = 1);
+                                         i64 size_bytes, i64 threads = 1,
+                                         runtime::ElemType elem = runtime::ElemType::u32,
+                                         runtime::ReduceOp op = runtime::ReduceOp::sum);
+
+  /// Verified execution as a sweep mode: evaluate every query, fanning cells
+  /// out over at most `threads` workers like `sweep`, each cell executed
+  /// with `exec_threads` executor threads. Results are index-addressed and
+  /// byte-identical -- digests included -- for any worker count.
+  [[nodiscard]] std::vector<VerifiedRun> sweep_verified(
+      const std::vector<VerifiedQuery>& queries, i64 threads = 0,
+      i64 exec_threads = 1);
 
   /// Toggle the size-independent schedule cache (default: on, unless the
   /// BINE_SCHED_CACHE environment variable is set to 0). The cached and
@@ -171,7 +204,15 @@ class Runner {
   Sized& sized_for(i64 nodes);
 
   /// Simulation config for one cell (shared by cached and uncached paths).
-  [[nodiscard]] coll::Config cell_config(i64 nodes, i64 size_bytes) const;
+  /// `elem_size` defaults to the paper's 32-bit integers; the typed verified
+  /// path passes the element type's width instead.
+  [[nodiscard]] coll::Config cell_config(i64 nodes, i64 size_bytes,
+                                         i64 elem_size = 4) const;
+  template <typename T>
+  [[nodiscard]] VerifiedRun run_verified_impl(sched::Collective coll,
+                                              const coll::AlgorithmEntry& algo,
+                                              i64 nodes, i64 size_bytes, i64 threads,
+                                              runtime::ReduceOp op);
   [[nodiscard]] RunResult simulate_lowered(const sched::CompiledSchedule& lowered,
                                            Sized& sized) const;
 

@@ -1,0 +1,65 @@
+#include "harness/tuned_runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace bine::harness {
+
+TunedRunner::TunedRunner(net::SystemProfile profile, tune::DecisionTable table,
+                         tune::MissPolicy policy, tune::TunerOptions tuner_options)
+    : profile_(std::move(profile)),
+      runner_(profile_, tuner_options.spread_placement, tuner_options.seed),
+      table_(std::move(table)),
+      policy_(policy),
+      tuner_(std::move(tuner_options)) {
+  // Fail-fast fingerprint check: a stale artifact must never serve, so
+  // reject it here rather than on the first dispatch.
+  const auto it = table_.profiles().find(profile_.name);
+  if (it != table_.profiles().end() &&
+      it->second != tune::profile_fingerprint(profile_))
+    throw std::runtime_error("tuned dispatch: decision table was tuned for a "
+                             "different '" +
+                             profile_.name + "' (fingerprint mismatch); re-tune");
+}
+
+const coll::AlgorithmEntry& TunedRunner::select(sched::Collective coll, i64 nodes,
+                                                i64 bytes) {
+  bytes = std::max<i64>(bytes, 0);  // cells cover [0, inf); no negative probes
+  const std::scoped_lock lock(mutex_);
+  if (const std::string* name = table_.lookup(profile_.name, coll, nodes, bytes)) {
+    ++hits_;
+    return coll::find_algorithm(coll, *name);
+  }
+  ++misses_;
+  if (policy_ == tune::MissPolicy::tune_on_miss) {
+    // Tune the whole missing cell (every grid size), merge, serve: the miss
+    // is paid once and later queries of any size hit the table.
+    tune::DecisionTable fill;
+    fill.set_profile(profile_.name, tune::profile_fingerprint(profile_));
+    fill.set_cell(tune::CellKey{profile_.name, coll, nodes},
+                  tuner_.tune_cell(runner_, coll, nodes));
+    table_.merge(fill);
+    const std::string* name = table_.lookup(profile_.name, coll, nodes, bytes);
+    return coll::find_algorithm(coll, *name);
+  }
+  if (policy_ == tune::MissPolicy::error)
+    throw std::runtime_error(std::string("tuned dispatch: no cell for ") +
+                             to_string(coll) + " p=" + std::to_string(nodes) + " on '" +
+                             profile_.name + "'");
+  return coll::recommended_algorithm(coll, nodes, std::max<i64>(bytes, 1));
+}
+
+RunResult TunedRunner::run(sched::Collective coll, i64 nodes, i64 bytes) {
+  const coll::AlgorithmEntry& algo = select(coll, nodes, bytes);
+  return runner_.run(coll, algo, nodes, bytes);
+}
+
+VerifiedRun TunedRunner::run_verified(sched::Collective coll, i64 nodes, i64 bytes,
+                                      i64 threads, runtime::ElemType elem,
+                                      runtime::ReduceOp op) {
+  const coll::AlgorithmEntry& algo = select(coll, nodes, bytes);
+  return runner_.run_verified(coll, algo, nodes, bytes, threads, elem, op);
+}
+
+}  // namespace bine::harness

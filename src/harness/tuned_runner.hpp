@@ -1,0 +1,63 @@
+#pragma once
+
+#include <mutex>
+#include <string>
+
+#include "harness/runner.hpp"
+#include "tune/decision_table.hpp"
+#include "tune/tuner.hpp"
+
+/// Tuned dispatch: a Runner front-end that answers "which algorithm?" from a
+/// tune::DecisionTable in O(log intervals) and executes the winner through
+/// the existing Runner paths (`run` for simulation, `exec_plan`-backed
+/// `run_verified` for real execution). The consumer-side half of the tuning
+/// subsystem: Tuner builds the artifact offline, TunedRunner serves it.
+namespace bine::harness {
+
+class TunedRunner {
+ public:
+  /// Throws std::runtime_error when `table` names this profile with a
+  /// different fingerprint -- a stale artifact is rejected at construction,
+  /// not discovered mid-dispatch. `policy` decides what a table miss does;
+  /// MissPolicy::tune_on_miss tunes the missing cell with `tuner_options`
+  /// (+ this runner) and merges it into the table, so the miss is paid once.
+  TunedRunner(net::SystemProfile profile, tune::DecisionTable table,
+              tune::MissPolicy policy = tune::MissPolicy::heuristic_default,
+              tune::TunerOptions tuner_options = {});
+
+  /// The winning algorithm for (coll, nodes, bytes). Thread-safe.
+  [[nodiscard]] const coll::AlgorithmEntry& select(sched::Collective coll, i64 nodes,
+                                                   i64 bytes);
+
+  /// Tuned simulation: select + Runner::run.
+  [[nodiscard]] RunResult run(sched::Collective coll, i64 nodes, i64 bytes);
+
+  /// Tuned verified execution: select + the Runner::exec_plan/run_verified
+  /// path (compiled executor over real buffers, postcondition verify).
+  [[nodiscard]] VerifiedRun run_verified(sched::Collective coll, i64 nodes, i64 bytes,
+                                         i64 threads = 1,
+                                         runtime::ElemType elem = runtime::ElemType::u32,
+                                         runtime::ReduceOp op = runtime::ReduceOp::sum);
+
+  [[nodiscard]] const net::SystemProfile& profile() const { return profile_; }
+  [[nodiscard]] const tune::DecisionTable& table() const { return table_; }
+  [[nodiscard]] Runner& runner() { return runner_; }
+
+  /// Dispatch counters: selections answered by the table vs misses (a
+  /// tune-on-miss fill counts as the miss it repaired; later dispatches of
+  /// that cell count as hits).
+  [[nodiscard]] u64 table_hits() const { return hits_; }
+  [[nodiscard]] u64 table_misses() const { return misses_; }
+
+ private:
+  net::SystemProfile profile_;
+  Runner runner_;
+  tune::DecisionTable table_;
+  tune::MissPolicy policy_;
+  tune::Tuner tuner_;
+  std::mutex mutex_;  ///< guards table_ mutation + counters
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+}  // namespace bine::harness

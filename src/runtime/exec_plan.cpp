@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -10,7 +11,157 @@
 
 namespace bine::runtime {
 
-void ExecPlan::finalize() {
+namespace {
+
+/// The per-step dataflow analysis over one delivery stream: receiver runs,
+/// zero-copy direct marks, fused symmetric pairs, and per-step staging block
+/// offsets. Pure structure -- nothing here touches element counts -- which is
+/// what makes the result cacheable per schedule entry. `block_begin`/`ids`
+/// are moved into the returned skeleton.
+ExecSkeleton analyze_structure(size_t steps, std::span<const std::uint32_t> step_begin,
+                               std::span<const std::int32_t> to,
+                               std::span<const std::int32_t> from,
+                               std::span<const std::uint8_t> reduce, i64 p, i64 nblocks,
+                               std::vector<std::uint32_t>&& block_begin,
+                               std::vector<i64>&& ids) {
+  ExecSkeleton sk;
+  sk.block_begin = std::move(block_begin);
+  sk.ids = std::move(ids);
+
+  const size_t nops = to.size();
+  sk.run_begin.clear();
+  sk.step_run_begin.reserve(steps + 1);
+  sk.step_run_begin.push_back(0);
+  sk.direct.assign(nops, 0);
+  sk.fused.assign(nops, 0);
+  sk.step_fused_begin.reserve(steps + 1);
+  sk.step_fused_begin.push_back(0);
+  sk.stage_block_off.assign(nops, 0);
+  // Per-cell stamps for the zero-copy analyses below, epoch-keyed by step so
+  // they are never cleared: `written` marks cells some delivery writes this
+  // step, `touched`/`touch_count` count read+write touches per cell.
+  const auto npos = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> written(static_cast<size_t>(p * nblocks), npos);
+  std::vector<std::uint32_t> touched(static_cast<size_t>(p * nblocks), npos);
+  std::vector<std::uint32_t> touch_count(static_cast<size_t>(p * nblocks), 0);
+  std::map<std::pair<std::int32_t, std::int32_t>, std::vector<std::uint32_t>> by_flow;
+  for (size_t t = 0; t < steps; ++t) {
+    const std::uint32_t ob = step_begin[t], oe = step_begin[t + 1];
+    by_flow.clear();
+    for (std::uint32_t j = ob; j < oe; ++j) {
+      if (j == ob || to[j] != to[j - 1]) sk.run_begin.push_back(j);
+      if (reduce[j]) by_flow[{to[j], from[j]}].push_back(j);
+      for (std::uint32_t k = sk.block_begin[j]; k < sk.block_begin[j + 1]; ++k) {
+        const size_t wcell = static_cast<size_t>(to[j] * nblocks + sk.ids[k]);
+        const size_t rcell = static_cast<size_t>(from[j] * nblocks + sk.ids[k]);
+        written[wcell] = static_cast<std::uint32_t>(t);
+        for (const size_t cell : {wcell, rcell}) {
+          if (touched[cell] != static_cast<std::uint32_t>(t)) {
+            touched[cell] = static_cast<std::uint32_t>(t);
+            touch_count[cell] = 0;
+          }
+          ++touch_count[cell];
+        }
+      }
+    }
+    // A delivery is direct when nothing this step writes the cells it reads:
+    // the sender's live buffer then IS the pre-step snapshot, so the
+    // executor applies it without staging.
+    for (std::uint32_t j = ob; j < oe; ++j) {
+      bool is_direct = true;
+      for (std::uint32_t k = sk.block_begin[j]; is_direct && k < sk.block_begin[j + 1];
+           ++k)
+        is_direct = written[static_cast<size_t>(from[j] * nblocks + sk.ids[k])] !=
+                    static_cast<std::uint32_t>(t);
+      sk.direct[j] = is_direct ? 1 : 0;
+    }
+    // Symmetric-exchange fusion (see header): mutual recv_reduce pairs over
+    // the identical id list whose cells only the pair touches. touch_count
+    // == 2 on every cell certifies exclusivity (the pair itself contributes
+    // one write- and one read-touch per cell).
+    for (std::uint32_t j = ob; j < oe; ++j) {
+      if (!reduce[j] || sk.direct[j] || sk.fused[j] || to[j] > from[j]) continue;
+      const auto fwd = by_flow.find({to[j], from[j]});
+      const auto rev = by_flow.find({from[j], to[j]});
+      if (fwd == by_flow.end() || rev == by_flow.end()) continue;
+      if (fwd->second.size() != 1 || rev->second.size() != 1) continue;
+      const std::uint32_t j2 = rev->second.front();
+      if (sk.direct[j2] || sk.fused[j2]) continue;
+      const std::uint32_t len = sk.block_begin[j + 1] - sk.block_begin[j];
+      if (sk.block_begin[j2 + 1] - sk.block_begin[j2] != len) continue;
+      if (!std::equal(sk.ids.begin() + sk.block_begin[j],
+                      sk.ids.begin() + sk.block_begin[j + 1],
+                      sk.ids.begin() + sk.block_begin[j2]))
+        continue;
+      bool exclusive = true;
+      for (std::uint32_t k = sk.block_begin[j]; exclusive && k < sk.block_begin[j + 1];
+           ++k)
+        exclusive =
+            touch_count[static_cast<size_t>(to[j] * nblocks + sk.ids[k])] == 2 &&
+            touch_count[static_cast<size_t>(from[j] * nblocks + sk.ids[k])] == 2;
+      if (!exclusive) continue;
+      sk.fused[j] = sk.fused[j2] = 1;
+      sk.fused_pair.push_back(j);
+      sk.fused_pair.push_back(j2);
+    }
+    sk.step_fused_begin.push_back(static_cast<std::uint32_t>(sk.fused_pair.size() / 2));
+    // Staging block offsets for what remains (element offsets are
+    // size-dependent and computed in finalize_sizes).
+    i64 staged_blocks = 0;
+    for (std::uint32_t j = ob; j < oe; ++j) {
+      sk.stage_block_off[j] = staged_blocks;
+      if (!sk.direct[j] && !sk.fused[j])
+        staged_blocks += sk.block_begin[j + 1] - sk.block_begin[j];
+    }
+    sk.step_run_begin.push_back(static_cast<std::uint32_t>(sk.run_begin.size()));
+    sk.max_step_blocks = std::max<i64>(sk.max_step_blocks, staged_blocks);
+  }
+  sk.run_begin.push_back(step_begin[steps]);
+  return sk;
+}
+
+}  // namespace
+
+std::shared_ptr<const ExecSkeleton> ExecSkeleton::of(const sched::SizeFreeSchedule& sf) {
+  sched::SizeFreeSchedule::DerivedSlot& slot = *sf.derived;
+  const std::scoped_lock lock(slot.mutex);
+  if (slot.value)
+    return std::static_pointer_cast<const ExecSkeleton>(slot.value);
+
+  // Expand the overlay's block ranges once; every later hit reuses them.
+  const size_t ops = sf.num_recv_ops();
+  std::vector<std::uint32_t> block_begin;
+  std::vector<i64> ids;
+  block_begin.reserve(ops + 1);
+  block_begin.push_back(0);
+  for (size_t i = 0; i < ops; ++i) {
+    const std::span<const sched::BlockRange> rs{
+        sf.recv_ranges.data() + sf.recv_block_begin[i],
+        sf.recv_ranges.data() + sf.recv_block_begin[i + 1]};
+    for (const sched::BlockRange& br : rs)
+      for (i64 k = 0; k < br.count; ++k) ids.push_back(pmod(br.begin + k, sf.nblocks));
+    block_begin.push_back(static_cast<std::uint32_t>(ids.size()));
+  }
+  auto built = std::make_shared<const ExecSkeleton>(analyze_structure(
+      sf.steps, sf.recv_step_begin, sf.recv_rank, sf.recv_peer, sf.recv_reduce, sf.p,
+      sf.nblocks, std::move(block_begin), std::move(ids)));
+  slot.value = built;
+  return built;
+}
+
+void ExecPlan::finalize_sizes() {
+  // Point structural spans at the (built or cached) skeleton.
+  block_begin = skeleton->block_begin;
+  ids = skeleton->ids;
+  run_begin = skeleton->run_begin;
+  step_run_begin = skeleton->step_run_begin;
+  direct = skeleton->direct;
+  fused = skeleton->fused;
+  fused_pair = skeleton->fused_pair;
+  step_fused_begin = skeleton->step_fused_begin;
+  stage_block_off = skeleton->stage_block_off;
+  max_step_blocks = skeleton->max_step_blocks;
+
   // Dense element layout: block id b occupies [block_off[b], block_off[b+1])
   // of every rank's flat buffer. For per_vector space this is exactly the
   // vector's own layout; for pairwise space ids are s-major so rank s's send
@@ -31,105 +182,20 @@ void ExecPlan::finalize() {
   for (size_t k = 0; k < ids.size(); ++k)
     elem_prefix[k + 1] = elem_prefix[k] + block_len(ids[k]);
 
-  // Receiver runs: maximal delivery spans of one receiving rank within a
-  // step. Deliveries of one rank must apply in op order; distinct runs touch
-  // disjoint slots, so the threaded executor fans runs out.
-  run_begin.clear();
-  step_run_begin.clear();
-  step_run_begin.reserve(steps + 1);
-  step_run_begin.push_back(0);
   total_wire_bytes = 0;
-  max_step_elems = 0;
-  max_step_blocks = 0;
-  direct.assign(num_ops(), 0);
-  fused.assign(num_ops(), 0);
-  fused_pair.clear();
-  step_fused_begin.clear();
-  step_fused_begin.reserve(steps + 1);
-  step_fused_begin.push_back(0);
+  for (const i64 b : op_bytes) total_wire_bytes += b;
+
   stage_elem_off.assign(num_ops(), 0);
-  stage_block_off.assign(num_ops(), 0);
-  // Per-cell stamps for the zero-copy analyses below, epoch-keyed by step so
-  // they are never cleared: `written` marks cells some delivery writes this
-  // step, `touched`/`touch_count` count read+write touches per cell.
-  const auto npos = std::numeric_limits<std::uint32_t>::max();
-  std::vector<std::uint32_t> written(static_cast<size_t>(p * nblocks), npos);
-  std::vector<std::uint32_t> touched(static_cast<size_t>(p * nblocks), npos);
-  std::vector<std::uint32_t> touch_count(static_cast<size_t>(p * nblocks), 0);
-  std::map<std::pair<std::int32_t, std::int32_t>, std::vector<std::uint32_t>> by_flow;
+  max_step_elems = 0;
   for (size_t t = 0; t < steps; ++t) {
-    const std::uint32_t ob = step_begin[t], oe = step_begin[t + 1];
-    by_flow.clear();
-    for (std::uint32_t j = ob; j < oe; ++j) {
-      if (j == ob || to[j] != to[j - 1]) run_begin.push_back(j);
-      total_wire_bytes += op_bytes[j];
-      if (reduce[j]) by_flow[{to[j], from[j]}].push_back(j);
-      for (std::uint32_t k = block_begin[j]; k < block_begin[j + 1]; ++k) {
-        const size_t wcell = static_cast<size_t>(to[j] * nblocks + ids[k]);
-        const size_t rcell = static_cast<size_t>(from[j] * nblocks + ids[k]);
-        written[wcell] = static_cast<std::uint32_t>(t);
-        for (const size_t cell : {wcell, rcell}) {
-          if (touched[cell] != static_cast<std::uint32_t>(t)) {
-            touched[cell] = static_cast<std::uint32_t>(t);
-            touch_count[cell] = 0;
-          }
-          ++touch_count[cell];
-        }
-      }
-    }
-    // A delivery is direct when nothing this step writes the cells it reads:
-    // the sender's live buffer then IS the pre-step snapshot, so the
-    // executor applies it without staging.
-    for (std::uint32_t j = ob; j < oe; ++j) {
-      bool is_direct = true;
-      for (std::uint32_t k = block_begin[j]; is_direct && k < block_begin[j + 1]; ++k)
-        is_direct = written[static_cast<size_t>(from[j] * nblocks + ids[k])] !=
-                    static_cast<std::uint32_t>(t);
-      direct[j] = is_direct ? 1 : 0;
-    }
-    // Symmetric-exchange fusion (see header): mutual recv_reduce pairs over
-    // the identical id list whose cells only the pair touches. touch_count
-    // == 2 on every cell certifies exclusivity (the pair itself contributes
-    // one write- and one read-touch per cell).
-    for (std::uint32_t j = ob; j < oe; ++j) {
-      if (!reduce[j] || direct[j] || fused[j] || to[j] > from[j]) continue;
-      const auto fwd = by_flow.find({to[j], from[j]});
-      const auto rev = by_flow.find({from[j], to[j]});
-      if (fwd == by_flow.end() || rev == by_flow.end()) continue;
-      if (fwd->second.size() != 1 || rev->second.size() != 1) continue;
-      const std::uint32_t j2 = rev->second.front();
-      if (direct[j2] || fused[j2]) continue;
-      const std::uint32_t len = block_begin[j + 1] - block_begin[j];
-      if (block_begin[j2 + 1] - block_begin[j2] != len) continue;
-      if (!std::equal(ids.begin() + block_begin[j], ids.begin() + block_begin[j + 1],
-                      ids.begin() + block_begin[j2]))
-        continue;
-      bool exclusive = true;
-      for (std::uint32_t k = block_begin[j]; exclusive && k < block_begin[j + 1]; ++k)
-        exclusive =
-            touch_count[static_cast<size_t>(to[j] * nblocks + ids[k])] == 2 &&
-            touch_count[static_cast<size_t>(from[j] * nblocks + ids[k])] == 2;
-      if (!exclusive) continue;
-      fused[j] = fused[j2] = 1;
-      fused_pair.push_back(j);
-      fused_pair.push_back(j2);
-    }
-    step_fused_begin.push_back(static_cast<std::uint32_t>(fused_pair.size() / 2));
-    // Staging offsets for what remains.
-    i64 staged_elems = 0, staged_blocks = 0;
-    for (std::uint32_t j = ob; j < oe; ++j) {
+    i64 staged_elems = 0;
+    for (std::uint32_t j = step_begin[t]; j < step_begin[t + 1]; ++j) {
       stage_elem_off[j] = staged_elems;
-      stage_block_off[j] = staged_blocks;
-      if (!direct[j] && !fused[j]) {
-        staged_blocks += block_begin[j + 1] - block_begin[j];
+      if (!direct[j] && !fused[j])
         staged_elems += elem_prefix[block_begin[j + 1]] - elem_prefix[block_begin[j]];
-      }
     }
-    step_run_begin.push_back(static_cast<std::uint32_t>(run_begin.size()));
-    max_step_blocks = std::max<i64>(max_step_blocks, staged_blocks);
     max_step_elems = std::max<i64>(max_step_elems, staged_elems);
   }
-  run_begin.push_back(step_begin[steps]);
 }
 
 ExecPlan ExecPlan::lower(const sched::Schedule& s) {
@@ -147,69 +213,77 @@ ExecPlan ExecPlan::lower(const sched::Schedule& s) {
   plan.elem_size = s.elem_size;
   plan.root = s.root;
   plan.steps = s.num_steps();
-  plan.step_begin.reserve(plan.steps + 1);
-  plan.step_begin.push_back(0);
-  plan.block_begin.push_back(0);
+  plan.own.step_begin.reserve(plan.steps + 1);
+  plan.own.step_begin.push_back(0);
 
+  std::vector<std::uint32_t> block_begin;
+  std::vector<i64> ids;
+  block_begin.push_back(0);
   sched::for_each_op_step_major(
       s, plan.steps,
       [&](Rank r, const sched::Op& op) {
         if (op.kind != sched::OpKind::recv && op.kind != sched::OpKind::recv_reduce)
           return;
-        plan.to.push_back(static_cast<std::int32_t>(r));
-        plan.from.push_back(static_cast<std::int32_t>(op.peer));
-        plan.reduce.push_back(op.kind == sched::OpKind::recv_reduce ? 1 : 0);
+        plan.own.to.push_back(static_cast<std::int32_t>(r));
+        plan.own.from.push_back(static_cast<std::int32_t>(op.peer));
+        plan.own.reduce.push_back(op.kind == sched::OpKind::recv_reduce ? 1 : 0);
         plan.op_bytes.push_back(op.bytes);
         for (const sched::BlockRange& br : op.blocks.ranges())
           for (i64 k = 0; k < br.count; ++k)
-            plan.ids.push_back(pmod(br.begin + k, s.nblocks));
-        plan.block_begin.push_back(static_cast<std::uint32_t>(plan.ids.size()));
+            ids.push_back(pmod(br.begin + k, s.nblocks));
+        block_begin.push_back(static_cast<std::uint32_t>(ids.size()));
       },
       [&](size_t) {
-        plan.step_begin.push_back(static_cast<std::uint32_t>(plan.num_ops()));
+        plan.own.step_begin.push_back(static_cast<std::uint32_t>(plan.own.to.size()));
       });
-  plan.finalize();
+  plan.step_begin = plan.own.step_begin;
+  plan.to = plan.own.to;
+  plan.from = plan.own.from;
+  plan.reduce = plan.own.reduce;
+  plan.skeleton = std::make_shared<const ExecSkeleton>(
+      analyze_structure(plan.steps, plan.step_begin, plan.to, plan.from, plan.reduce,
+                        plan.p, plan.nblocks, std::move(block_begin), std::move(ids)));
+  plan.finalize_sizes();
   return plan;
 }
 
-ExecPlan ExecPlan::from_size_free(const sched::SizeFreeSchedule& sf,
+ExecPlan ExecPlan::from_size_free(std::shared_ptr<const sched::SizeFreeSchedule> sf,
                                   sched::Collective coll, Rank root, i64 elem_count,
                                   i64 elem_size) {
-  if (!sf.size_independent)
+  if (!sf || !sf->size_independent)
     throw std::runtime_error("entry failed verification; use fresh generation");
 
   ExecPlan plan;
   plan.coll = coll;
-  plan.space = sf.space;
-  plan.p = sf.p;
-  plan.nblocks = sf.nblocks;
+  plan.space = sf->space;
+  plan.p = sf->p;
+  plan.nblocks = sf->nblocks;
   plan.elem_count = elem_count;
   plan.elem_size = elem_size;
   plan.root = root;
-  plan.steps = sf.steps;
-  plan.step_begin = sf.recv_step_begin;
-  plan.to = sf.recv_rank;
-  plan.from = sf.recv_peer;
-  plan.reduce = sf.recv_reduce;
+  plan.steps = sf->steps;
+  // The delivery stream aliases the entry; the structural columns alias its
+  // cached skeleton. Only op_bytes and the element arithmetic below are
+  // computed per plan.
+  plan.step_begin = sf->recv_step_begin;
+  plan.to = sf->recv_rank;
+  plan.from = sf->recv_peer;
+  plan.reduce = sf->recv_reduce;
+  plan.skeleton = ExecSkeleton::of(*sf);
 
-  const i64 n = sf.space == sched::BlockSpace::pairwise ? elem_count * sf.p : elem_count;
-  const size_t ops = sf.num_recv_ops();
+  const i64 n = sf->space == sched::BlockSpace::pairwise ? elem_count * sf->p : elem_count;
+  const size_t ops = sf->num_recv_ops();
   plan.op_bytes.resize(ops);
-  plan.block_begin.reserve(ops + 1);
-  plan.block_begin.push_back(0);
   for (size_t i = 0; i < ops; ++i) {
     const std::span<const sched::BlockRange> rs{
-        sf.recv_ranges.data() + sf.recv_block_begin[i],
-        sf.recv_ranges.data() + sf.recv_block_begin[i + 1]};
+        sf->recv_ranges.data() + sf->recv_block_begin[i],
+        sf->recv_ranges.data() + sf->recv_block_begin[i + 1]};
     // The same arithmetic the generator's add_exchange baked the bytes with:
     // from() verified they agree, so the cached plan is bit-exact with lower().
-    plan.op_bytes[i] = sched::ranges_elem_count(rs, n, sf.nblocks) * elem_size;
-    for (const sched::BlockRange& br : rs)
-      for (i64 k = 0; k < br.count; ++k)
-        plan.ids.push_back(pmod(br.begin + k, sf.nblocks));
-    plan.block_begin.push_back(static_cast<std::uint32_t>(plan.ids.size()));
+    plan.op_bytes[i] = sched::ranges_elem_count(rs, n, sf->nblocks) * elem_size;
   }
-  plan.finalize();
+  plan.keepalive = std::move(sf);
+  plan.finalize_sizes();
   return plan;
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "sched/schedule.hpp"
@@ -26,6 +28,19 @@
 ///     (`elem_prefix`) sized once at lowering time, so execution performs no
 ///     per-step allocation at all.
 ///
+/// Columns split along the size axis exactly like CompiledSchedule's:
+/// everything except byte/element arithmetic is a pure function of schedule
+/// *structure*, so those columns are exposed as read-only spans. On the
+/// `lower` path they point at the plan's own storage; on the
+/// `from_size_free` path the delivery stream aliases the cache entry's
+/// execution overlay directly and the derived structural columns alias an
+/// `ExecSkeleton` -- the finalized, size-free dataflow analysis (receiver
+/// runs, zero-copy direct marks, fused symmetric pairs, staging block
+/// offsets) built ONCE per entry and cached on it, so a cache hit pays only
+/// for the size-dependent columns (`op_bytes`, `block_off`, `elem_prefix`,
+/// `stage_elem_off`). Because spans may alias `own`, an ExecPlan is movable
+/// but not copyable.
+///
 /// Built two ways, bit-identically (the parity tests assert it):
 ///   * `lower(Schedule)` -- validate + flatten the nested representation
 ///     (the uncached oracle-side path);
@@ -34,6 +49,31 @@
 ///     harness::Runner's verify path skips generation entirely on a
 ///     schedule-cache hit.
 namespace bine::runtime {
+
+/// The size-invariant finalized structure of one delivery stream: expanded
+/// block ids plus every output of the per-step dataflow analysis that does
+/// not touch element counts. Cached on the schedule-cache entry
+/// (SizeFreeSchedule::derived) so `from_size_free` re-runs none of it on a
+/// hit -- the execution analogue of resolve_into sharing the size-invariant
+/// simulation columns.
+struct ExecSkeleton {
+  // Expanded delivery payloads (CSR into `ids`), from the entry's ranges.
+  std::vector<std::uint32_t> block_begin;
+  std::vector<i64> ids;
+  // Dataflow analysis outputs (see ExecPlan field docs).
+  std::vector<std::uint32_t> run_begin;
+  std::vector<std::uint32_t> step_run_begin;
+  std::vector<std::uint8_t> direct;
+  std::vector<std::uint8_t> fused;
+  std::vector<std::uint32_t> fused_pair;
+  std::vector<std::uint32_t> step_fused_begin;
+  std::vector<i64> stage_block_off;
+  i64 max_step_blocks = 0;
+
+  /// The entry's skeleton, built and cached on first use (thread-safe).
+  [[nodiscard]] static std::shared_ptr<const ExecSkeleton> of(
+      const sched::SizeFreeSchedule& sf);
+};
 
 struct ExecPlan {
   sched::Collective coll{};
@@ -46,30 +86,22 @@ struct ExecPlan {
   size_t steps = 0;
 
   // One record per delivery (recv or recv_reduce), step-major,
-  // receiver-grouped, receiver op order preserved.
-  std::vector<std::uint32_t> step_begin;    ///< steps+1 CSR over deliveries
-  std::vector<std::int32_t> to;             ///< receiving rank
-  std::vector<std::int32_t> from;           ///< sending rank
-  std::vector<std::uint8_t> reduce;         ///< 1 = fold with the reduce op
-  std::vector<i64> op_bytes;                ///< wire bytes (accounting)
-  std::vector<std::uint32_t> block_begin;   ///< nops+1 CSR into `ids`
-  std::vector<i64> ids;                     ///< expanded logical block ids
-
-  // Derived at lowering time (finalize()).
-  std::vector<i64> block_off;               ///< nblocks+1 dense element offsets
-  std::vector<i64> elem_prefix;             ///< ids.size()+1 cumulative elements
-  std::vector<std::uint32_t> run_begin;     ///< receiver-run CSR over deliveries
-  std::vector<std::uint32_t> step_run_begin;///< steps+1 CSR over runs
+  // receiver-grouped, receiver op order preserved. Size-invariant: spans
+  // into `own` (lower) or the cache entry / its skeleton (from_size_free).
+  std::span<const std::uint32_t> step_begin;    ///< steps+1 CSR over deliveries
+  std::span<const std::int32_t> to;             ///< receiving rank
+  std::span<const std::int32_t> from;           ///< sending rank
+  std::span<const std::uint8_t> reduce;         ///< 1 = fold with the reduce op
+  std::span<const std::uint32_t> block_begin;   ///< nops+1 CSR into `ids`
+  std::span<const i64> ids;                     ///< expanded logical block ids
+  std::span<const std::uint32_t> run_begin;     ///< receiver-run CSR over deliveries
+  std::span<const std::uint32_t> step_run_begin;///< steps+1 CSR over runs
   /// Deliveries whose read cells (sender, id) are written by no delivery of
   /// the same step: their payload IS the sender's live buffer, so the
   /// executor skips staging them (zero-copy apply). Trees, scatter/allgather
   /// composites, rings and recursive halving are direct almost everywhere;
   /// only full-vector butterfly exchanges (recursive doubling) still stage.
-  std::vector<std::uint8_t> direct;
-  /// Staging offsets of non-direct deliveries (elements / blocks within the
-  /// step's stage buffer); unused for direct and fused ones.
-  std::vector<i64> stage_elem_off;
-  std::vector<i64> stage_block_off;
+  std::span<const std::uint8_t> direct;
   /// Symmetric-exchange fusion: delivery pairs (j1 = r<-s, j2 = s<-r), both
   /// recv_reduce over the identical id list, whose cells no other delivery
   /// of the step touches. The executor computes `a op b` once and writes
@@ -77,14 +109,29 @@ struct ExecPlan {
   /// exchanges of recursive doubling -- never stage either. `fused[j]` marks
   /// members; `fused_pair` lists each pair once (j1 then j2), with
   /// `step_fused_begin` the steps+1 CSR in pairs.
-  std::vector<std::uint8_t> fused;
-  std::vector<std::uint32_t> fused_pair;
-  std::vector<std::uint32_t> step_fused_begin;
+  std::span<const std::uint8_t> fused;
+  std::span<const std::uint32_t> fused_pair;
+  std::span<const std::uint32_t> step_fused_begin;
+  /// Staging offsets of non-direct deliveries (blocks within the step's
+  /// stage buffer); unused for direct and fused ones.
+  std::span<const i64> stage_block_off;
+
+  // Size-dependent columns: always materialized per plan.
+  std::vector<i64> op_bytes;                ///< wire bytes (accounting)
+  std::vector<i64> block_off;               ///< nblocks+1 dense element offsets
+  std::vector<i64> elem_prefix;             ///< ids.size()+1 cumulative elements
+  std::vector<i64> stage_elem_off;          ///< staging offsets (elements)
   i64 elems_per_rank = 0;                   ///< block_off.back()
   i64 words = 0;                            ///< u64 words per contributor set
   i64 max_step_elems = 0;                   ///< staging buffer size (elements)
   i64 max_step_blocks = 0;                  ///< staging buffer size (blocks)
   i64 total_wire_bytes = 0;
+
+  ExecPlan() = default;
+  ExecPlan(ExecPlan&&) noexcept = default;
+  ExecPlan& operator=(ExecPlan&&) noexcept = default;
+  ExecPlan(const ExecPlan&) = delete;
+  ExecPlan& operator=(const ExecPlan&) = delete;
 
   [[nodiscard]] size_t num_ops() const noexcept { return to.size(); }
   [[nodiscard]] i64 block_len(i64 id) const noexcept {
@@ -98,13 +145,32 @@ struct ExecPlan {
 
   /// Re-materialize from a cached entry's execution overlay for a concrete
   /// vector config. `sf` must be size_independent; `coll`/`root` come from
-  /// the cache key (the entry itself is keyed, not self-describing).
-  [[nodiscard]] static ExecPlan from_size_free(const sched::SizeFreeSchedule& sf,
-                                               sched::Collective coll, Rank root,
-                                               i64 elem_count, i64 elem_size);
+  /// the cache key (the entry itself is keyed, not self-describing). The
+  /// plan aliases the entry's columns and cached skeleton, keeping both
+  /// alive through `keepalive`/`skeleton`.
+  [[nodiscard]] static ExecPlan from_size_free(
+      std::shared_ptr<const sched::SizeFreeSchedule> sf, sched::Collective coll,
+      Rank root, i64 elem_count, i64 elem_size);
+
+  /// Owned backing storage for the `lower` path's delivery stream
+  /// (`from_size_free` aliases the cache entry instead).
+  struct Storage {
+    std::vector<std::uint32_t> step_begin;
+    std::vector<std::int32_t> to;
+    std::vector<std::int32_t> from;
+    std::vector<std::uint8_t> reduce;
+  } own;
+  /// Structural columns' owner: `lower` builds a private skeleton,
+  /// `from_size_free` shares the entry's cached one.
+  std::shared_ptr<const ExecSkeleton> skeleton;
+  /// Keeps the cache entry alive while delivery spans alias it.
+  std::shared_ptr<const void> keepalive;
 
  private:
-  void finalize();
+  /// Point the structural spans at `skeleton` and compute every
+  /// size-dependent column (block_off, elem_prefix, staging element offsets,
+  /// wire-byte totals). Requires the delivery spans and op_bytes to be set.
+  void finalize_sizes();
 };
 
 }  // namespace bine::runtime

@@ -13,6 +13,32 @@ namespace bine::runtime {
 
 enum class ReduceOp { sum, prod, min, max, band, bor, bxor };
 
+/// Element types the verified execution paths are parameterized over
+/// (harness::Runner::run_verified / sweep_verified). The cross product with
+/// ReduceOp makes verified execution a first-class sweep mode instead of a
+/// u32/sum special case.
+enum class ElemType { u32, u64, f32, f64 };
+
+[[nodiscard]] constexpr const char* to_string(ElemType t) noexcept {
+  switch (t) {
+    case ElemType::u32: return "u32";
+    case ElemType::u64: return "u64";
+    case ElemType::f32: return "f32";
+    case ElemType::f64: return "f64";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr i64 elem_size_of(ElemType t) noexcept {
+  switch (t) {
+    case ElemType::u32: return 4;
+    case ElemType::u64: return 8;
+    case ElemType::f32: return 4;
+    case ElemType::f64: return 8;
+  }
+  return 4;
+}
+
 [[nodiscard]] constexpr const char* to_string(ReduceOp op) noexcept {
   switch (op) {
     case ReduceOp::sum: return "sum";

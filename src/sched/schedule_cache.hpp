@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -100,6 +101,18 @@ struct SizeFreeSchedule {
   std::vector<std::uint8_t> recv_reduce;       ///< 1 = recv_reduce
   std::vector<std::uint32_t> recv_block_begin; ///< CSR into recv_ranges
   std::vector<BlockRange> recv_ranges;
+
+  /// Type-erased slot for derived artifacts a higher layer caches on the
+  /// entry (runtime::ExecPlan's finalized skeleton -- the execution analogue
+  /// of resolve_into's span sharing). Built once under the slot mutex on
+  /// first use, then shared by every later hit; the sched layer stays
+  /// runtime-agnostic. Held by unique_ptr so the entry remains movable;
+  /// mutable because entries are only ever reached as shared_ptr<const>.
+  struct DerivedSlot {
+    std::mutex mutex;
+    std::shared_ptr<const void> value;
+  };
+  mutable std::unique_ptr<DerivedSlot> derived = std::make_unique<DerivedSlot>();
 
   [[nodiscard]] size_t num_ops() const noexcept { return kind.size(); }
   [[nodiscard]] size_t num_recv_ops() const noexcept { return recv_rank.size(); }

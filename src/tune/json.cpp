@@ -1,0 +1,246 @@
+#include "tune/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bine::tune::json {
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " + std::to_string(pos));
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+
+  char peek() {
+    if (pos >= text.size()) fail("unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // The artifacts only ever escape control characters (ASCII), so a
+          // basic one-byte decode covers them; anything else round-trips as
+          // UTF-8 without escaping.
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const size_t start = pos;
+    if (peek() == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    bool integral = true;
+    if (pos < text.size() && text[pos] == '.') {
+      integral = false;
+      ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      integral = false;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    const std::string_view tok = text.substr(start, pos - start);
+    if (tok.empty() || tok == "-") fail("malformed number");
+    Value v;
+    v.kind = Value::Kind::number;
+    if (integral) {
+      const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), v.integer);
+      if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size())
+        fail("integer out of range");
+      v.is_integer = true;
+      v.number = static_cast<double>(v.integer);
+    } else {
+      v.number = std::strtod(std::string(tok).c_str(), nullptr);
+    }
+    return v;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > 64) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    Value v;
+    if (c == '{') {
+      ++pos;
+      v.kind = Value::Kind::object;
+      skip_ws();
+      if (peek() == '}') { ++pos; return v; }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        v.members.emplace_back(std::move(key), parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') { ++pos; continue; }
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      v.kind = Value::Kind::array;
+      skip_ws();
+      if (peek() == ']') { ++pos; return v; }
+      for (;;) {
+        v.items.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') { ++pos; continue; }
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.kind = Value::Kind::string;
+      v.str = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) { v.kind = Value::Kind::boolean; v.boolean = true; return v; }
+    if (consume_literal("false")) { v.kind = Value::Kind::boolean; return v; }
+    if (consume_literal("null")) return v;
+    return parse_number();
+  }
+};
+
+}  // namespace
+
+Value Value::parse(std::string_view text) {
+  Parser p{text};
+  Value v = p.parse_value(0);
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing garbage");
+  return v;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::object) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key, std::string_view what) const {
+  const Value* v = find(key);
+  if (!v)
+    throw std::runtime_error("json: missing key '" + std::string(key) + "' in " +
+                             std::string(what));
+  return *v;
+}
+
+i64 Value::as_i64(std::string_view what) const {
+  if (kind != Kind::number || !is_integer)
+    throw std::runtime_error("json: " + std::string(what) + " must be an integer");
+  return integer;
+}
+
+double Value::as_double(std::string_view what) const {
+  if (kind != Kind::number)
+    throw std::runtime_error("json: " + std::string(what) + " must be a number");
+  return number;
+}
+
+const std::string& Value::as_string(std::string_view what) const {
+  if (kind != Kind::string)
+    throw std::runtime_error("json: " + std::string(what) + " must be a string");
+  return str;
+}
+
+bool Value::as_bool(std::string_view what) const {
+  if (kind != Kind::boolean)
+    throw std::runtime_error("json: " + std::string(what) + " must be a boolean");
+  return boolean;
+}
+
+const std::vector<Value>& Value::as_array(std::string_view what) const {
+  if (kind != Kind::array)
+    throw std::runtime_error("json: " + std::string(what) + " must be an array");
+  return items;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace bine::tune::json

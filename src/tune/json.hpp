@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// Minimal JSON document model for the tuning artifacts (decision tables,
+/// bench snapshots): objects, arrays, strings, integers, doubles, booleans,
+/// null. The container bakes no JSON dependency in, and the artifact schema
+/// is small and fixed, so a strict ~150-line recursive-descent parser beats
+/// carrying one. Writing stays hand-formatted at the call sites (the tables
+/// need a canonical field order anyway); `escape` is the shared piece.
+namespace bine::tune::json {
+
+class Value {
+ public:
+  enum class Kind { null, boolean, number, string, array, object };
+
+  Kind kind = Kind::null;
+  bool boolean = false;
+  double number = 0;       ///< numeric value (always set for Kind::number)
+  i64 integer = 0;         ///< exact value when the token was integral
+  bool is_integer = false;
+  std::string str;
+  std::vector<Value> items;                            ///< Kind::array
+  std::vector<std::pair<std::string, Value>> members;  ///< Kind::object, in order
+
+  /// Parse one document; the whole input must be consumed. Throws
+  /// std::runtime_error with a byte offset on malformed input.
+  [[nodiscard]] static Value parse(std::string_view text);
+
+  /// Object member by key, or nullptr (nullptr too when not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  // Checked accessors: throw std::runtime_error naming `what` on kind
+  // mismatch, so artifact loaders produce actionable messages.
+  [[nodiscard]] const Value& at(std::string_view key, std::string_view what) const;
+  [[nodiscard]] i64 as_i64(std::string_view what) const;
+  [[nodiscard]] double as_double(std::string_view what) const;
+  [[nodiscard]] const std::string& as_string(std::string_view what) const;
+  [[nodiscard]] bool as_bool(std::string_view what) const;
+  [[nodiscard]] const std::vector<Value>& as_array(std::string_view what) const;
+};
+
+/// JSON string escaping for the hand-formatted writers.
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace bine::tune::json

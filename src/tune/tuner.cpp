@@ -1,0 +1,152 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "harness/parallel.hpp"
+
+namespace bine::tune {
+
+using sched::Collective;
+
+Tuner::Tuner(TunerOptions options) : options_(std::move(options)) {
+  grid_ = options_.size_grid.empty() ? harness::paper_vector_sizes(false)
+                                     : options_.size_grid;
+  std::sort(grid_.begin(), grid_.end());
+  grid_.erase(std::unique(grid_.begin(), grid_.end()), grid_.end());
+  if (grid_.empty() || grid_.front() <= 0)
+    throw std::invalid_argument("tuner: size grid must be positive");
+  const bool float_elem = options_.refine_elem == runtime::ElemType::f32 ||
+                          options_.refine_elem == runtime::ElemType::f64;
+  if (options_.refine_top_k > 0 && float_elem &&
+      options_.refine_op == runtime::ReduceOp::prod)
+    throw std::invalid_argument(
+        "tuner: refinement cannot verify ReduceOp::prod over floating-point "
+        "elements (order-dependent rounding); pick an integral refine_elem");
+}
+
+std::vector<const coll::AlgorithmEntry*> Tuner::candidates(Collective coll, i64 p) {
+  std::vector<const coll::AlgorithmEntry*> out;
+  for (const auto& entry : coll::algorithms_for(coll)) {
+    if (entry.specialized) continue;
+    if (entry.pow2_only && !is_pow2(p)) continue;
+    out.push_back(&entry);
+  }
+  return out;
+}
+
+std::vector<SizeInterval> Tuner::tune_cell(harness::Runner& runner, Collective coll,
+                                           i64 p) const {
+  const std::vector<const coll::AlgorithmEntry*> cands = candidates(coll, p);
+  if (cands.empty())
+    throw std::runtime_error(std::string("tuner: no applicable algorithm for ") +
+                             to_string(coll) + " p=" + std::to_string(p));
+
+  std::vector<const coll::AlgorithmEntry*> winners;
+  winners.reserve(grid_.size());
+  std::vector<std::pair<double, size_t>> ranked(cands.size());
+  for (const i64 size : grid_) {
+    // Rank every candidate by simulated time. Pure function of the cell, so
+    // sharding cannot reorder anything observable.
+    for (size_t k = 0; k < cands.size(); ++k)
+      ranked[k] = {runner.run(coll, *cands[k], p, size).seconds, k};
+    // stable_sort keeps registry order on ties -- the same tie-break
+    // best_of's strict < performs.
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    const coll::AlgorithmEntry* winner = nullptr;
+    if (options_.refine_top_k > 0) {
+      // Correctness gate: the best simulated candidate that also executes
+      // and verifies over real buffers wins. Verification outcomes are
+      // deterministic, so this stays shard-invariant.
+      const size_t k_max =
+          std::min<size_t>(static_cast<size_t>(options_.refine_top_k), ranked.size());
+      for (size_t k = 0; k < k_max && !winner; ++k) {
+        const coll::AlgorithmEntry* cand = cands[ranked[k].second];
+        const harness::VerifiedRun v =
+            runner.run_verified(coll, *cand, p, size, /*threads=*/1,
+                                options_.refine_elem, options_.refine_op);
+        if (v.ok) winner = cand;
+      }
+      if (!winner)
+        throw std::runtime_error(std::string("tuner: all top-") +
+                                 std::to_string(k_max) + " candidates failed verified "
+                                 "execution for " + to_string(coll) +
+                                 " p=" + std::to_string(p) +
+                                 " size=" + std::to_string(size));
+    } else {
+      winner = cands[ranked.front().second];
+    }
+    winners.push_back(winner);
+  }
+
+  // Compress per-size winners into the piecewise crossover structure: the
+  // winner at grid size s governs [s, next grid size); the first interval
+  // extends down to 0 and the last is open-ended.
+  std::vector<SizeInterval> intervals;
+  for (size_t i = 0; i < grid_.size(); ++i) {
+    if (intervals.empty() || intervals.back().algorithm != winners[i]->name) {
+      if (!intervals.empty()) intervals.back().hi_bytes = grid_[i];
+      intervals.push_back({intervals.empty() ? 0 : grid_[i], kNoUpperBound,
+                           winners[i]->name});
+    }
+  }
+  return intervals;
+}
+
+DecisionTable Tuner::build(const std::vector<net::SystemProfile>& profiles,
+                           const std::vector<Collective>& colls,
+                           const std::vector<i64>& node_counts) const {
+  DecisionTable table;
+  for (const net::SystemProfile& profile : profiles) {
+    const u64 fp = profile_fingerprint(profile);
+    const auto it = table.profiles().find(profile.name);
+    if (it != table.profiles().end() && it->second != fp)
+      throw std::invalid_argument("tuner: duplicate profile name '" + profile.name +
+                                  "' with different parameters");
+    table.set_profile(profile.name, fp);
+  }
+
+  // One Runner per profile, shared by all that profile's cells and ALL
+  // worker threads (Runner is sweep-grade thread-safe); every Runner shares
+  // the process-wide schedule cache, so a (coll, p) pair generates once no
+  // matter how many systems rank it.
+  std::vector<std::unique_ptr<harness::Runner>> runners;
+  runners.reserve(profiles.size());
+  for (const net::SystemProfile& profile : profiles)
+    runners.push_back(std::make_unique<harness::Runner>(
+        profile, options_.spread_placement, options_.seed));
+
+  struct Cell {
+    size_t profile_idx;
+    Collective coll;
+    i64 p;
+  };
+  std::vector<Cell> cells;
+  for (size_t pi = 0; pi < profiles.size(); ++pi)
+    for (const Collective coll : colls)
+      for (const i64 p : node_counts) cells.push_back({pi, coll, p});
+
+  // The shard axis the table benches lacked: one work item per (system,
+  // coll, p) cell, index-addressed results, any thread count.
+  std::vector<std::vector<SizeInterval>> results(cells.size());
+  harness::parallel_for(
+      static_cast<i64>(cells.size()),
+      [&](i64 i) {
+        const Cell& cell = cells[static_cast<size_t>(i)];
+        results[static_cast<size_t>(i)] =
+            tune_cell(*runners[cell.profile_idx], cell.coll, cell.p);
+      },
+      options_.threads);
+
+  for (size_t i = 0; i < cells.size(); ++i)
+    table.set_cell(
+        CellKey{profiles[cells[i].profile_idx].name, cells[i].coll, cells[i].p},
+        std::move(results[i]));
+  return table;
+}
+
+}  // namespace bine::tune

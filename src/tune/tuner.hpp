@@ -1,0 +1,80 @@
+#pragma once
+
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "tune/decision_table.hpp"
+
+/// The tuning engine: turns the one-off candidate sweeps the table/figure
+/// benches run -- and then throw away -- into persisted decision tables.
+///
+/// A *cell* is one (system profile, collective, p): the unit the classic
+/// collective-tuning literature keys selection by, and the unit this engine
+/// shards. `build` creates one Runner per profile and fans one work item per
+/// cell out over harness::parallel_for, closing the "no cross-system
+/// parallelism" gap: cells of different systems run concurrently, all
+/// sharing the process-wide schedule cache (generation for a (coll, p) pair
+/// happens once no matter how many systems rank it). Inside a cell, every
+/// candidate algorithm from coll::registry is ranked at every grid size by
+/// the compiled simulator; the per-size winners are then compressed into the
+/// piecewise size intervals a DecisionTable stores.
+///
+/// Ranking is a pure function of (profile, collective, p, grid), so tables
+/// are byte-identical for any shard width -- the determinism tests assert
+/// serial vs sharded equality. The optional refinement stage keeps that
+/// property: it re-checks the top-K simulated candidates per size through
+/// the *verified execution* path (compiled executor + postcondition verify,
+/// Runner::run_verified with the configured element type / reduce op) and
+/// disqualifies any that fail -- a correctness gate over real buffer
+/// movement, not a wall-clock re-ranking.
+namespace bine::tune {
+
+struct TunerOptions {
+  /// Message-size grid (bytes) to rank candidates on; empty = the paper's
+  /// sweep sizes (harness::paper_vector_sizes(false)). Sorted + deduped at
+  /// use.
+  std::vector<i64> size_grid;
+  /// > 0: per grid size, re-check the top-K simulated candidates through
+  /// verified execution and disqualify failures. 0 = simulation ranking only.
+  i64 refine_top_k = 0;
+  runtime::ElemType refine_elem = runtime::ElemType::u32;
+  runtime::ReduceOp refine_op = runtime::ReduceOp::sum;
+  /// Shard width for build(); <= 0 = harness::default_thread_count().
+  i64 threads = 0;
+  /// Runner knobs (must match the consumer's Runner for the table to be
+  /// faithful; TunedRunner uses the same defaults).
+  bool spread_placement = true;
+  u64 seed = 42;
+};
+
+class Tuner {
+ public:
+  explicit Tuner(TunerOptions options = {});
+
+  [[nodiscard]] const TunerOptions& options() const { return options_; }
+
+  /// Tune every (profile, collective, p) cell and assemble the table
+  /// (profiles fingerprinted, cells interval-compressed). Profile names must
+  /// be unique. One work item per cell, sharded across `options().threads`.
+  [[nodiscard]] DecisionTable build(const std::vector<net::SystemProfile>& profiles,
+                                    const std::vector<sched::Collective>& colls,
+                                    const std::vector<i64>& node_counts) const;
+
+  /// Tune one cell with a caller-provided Runner (the tune-on-miss path and
+  /// build()'s per-cell work item). Deterministic; throws if no candidate
+  /// applies or every refined candidate fails verification.
+  [[nodiscard]] std::vector<SizeInterval> tune_cell(harness::Runner& runner,
+                                                    sched::Collective coll,
+                                                    i64 p) const;
+
+  /// The registry candidates a cell ranks: every non-topology-specialized
+  /// algorithm whose rank-count gate admits p, in registry order.
+  [[nodiscard]] static std::vector<const coll::AlgorithmEntry*> candidates(
+      sched::Collective coll, i64 p);
+
+ private:
+  TunerOptions options_;
+  std::vector<i64> grid_;  ///< normalized size_grid
+};
+
+}  // namespace bine::tune
