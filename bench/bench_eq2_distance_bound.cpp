@@ -1,20 +1,40 @@
 // Eq. 2 / Sec. 2.4.1: delta_bine(i) / delta_binomial(i) -> 2/3, which bounds
 // the global-traffic reduction at 33%.
+//
+// Plan: a Backend::custom sweep whose size axis is the step index (a
+// pure-math metric needs no systems or Runners); the ratio and both deltas
+// ride in the row's value/extra fields.
 #include <cstdio>
 
 #include "core/distance_theory.hpp"
+#include "exp/sweep.hpp"
 
 using namespace bine;
 
 int main() {
+  constexpr int s = 24;
+  exp::SweepPlan plan;
+  plan.name = "eq2_distance_bound";
+  plan.backend = exp::Backend::custom;
+  plan.nodes.counts = {s};
+  for (int i = 1; i <= s; ++i) plan.sizes.push_back(i);  // s - step, ascending
+  plan.metric = [](const exp::CellCtx& ctx) {
+    const int step = static_cast<int>(ctx.nodes - ctx.size_bytes);
+    exp::Metrics m;
+    m.value = core::distance_ratio(step, static_cast<int>(ctx.nodes));
+    m.extra = {static_cast<double>(core::delta_binomial(step, static_cast<int>(ctx.nodes))),
+               static_cast<double>(core::delta_bine(step, static_cast<int>(ctx.nodes)))};
+    return m;
+  };
+  const exp::SweepResult result = exp::run(plan);
+
   std::printf("=== Eq. 2: per-step distance ratio delta_bine / delta_binomial ===\n");
   std::printf("%6s %16s %16s %8s\n", "s-i", "delta_binomial", "delta_bine", "ratio");
-  const int s = 24;
-  for (int step = s - 1; step >= 0; --step) {
-    std::printf("%6d %16lld %16lld %8.4f\n", s - step,
-                static_cast<long long>(core::delta_binomial(step, s)),
-                static_cast<long long>(core::delta_bine(step, s)),
-                core::distance_ratio(step, s));
+  for (size_t si = 0; si < result.sizes.size(); ++si) {
+    const exp::Metrics& m = result.at(0, 0, 0, si, 0);
+    std::printf("%6lld %16lld %16lld %8.4f\n", static_cast<long long>(result.sizes[si]),
+                static_cast<long long>(m.extra[0]), static_cast<long long>(m.extra[1]),
+                m.value);
   }
   std::printf("\nAsymptotic ratio = 2/3 (maximum global-traffic reduction 33%%).\n");
   return 0;

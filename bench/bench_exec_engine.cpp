@@ -4,21 +4,23 @@
 // vs the compiled path (flat ExecPlan pulled from the schedule cache, dense
 // per-rank buffers, flat contributor bitsets -- runtime/compiled_executor.hpp).
 //
-// Sweep: every applicable allreduce algorithm at 64 ranks x a spread of
-// vector sizes, each cell executed over real buffers and verified against
-// the MPI postcondition -- the workload every correctness-gated tuning run
-// (and this repo's own test tier) pays. Both modes run identical cells; the
-// parity gate asserts the compiled engine is bit-exact with the reference
-// before any timing is believed. Emits BENCH_exec.json with per-sweep times,
-// the speedup, and the shared-process-cache demonstration (a second Runner
-// resolving the same cells without a single new generation).
+// Plan: the compiled sweep is a Backend::execute_verified SweepPlan (one
+// single-algorithm series per applicable allreduce algorithm); the nested
+// reference loop is kept verbatim as the pre-engine oracle being timed
+// against. Also profiles the executor's threaded crossover -- the vector
+// size beyond which threads > 1 beats sequential -- and records it next to
+// the auto-gate threshold (runtime::kExecAutoThreadBytes) in
+// BENCH_exec.json, plus the shared-process-cache demonstration (a second
+// system's plan resolving the same cells without a single new generation).
 #include <chrono>
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "coll/registry.hpp"
+#include "exp/sweep.hpp"
 #include "harness/runner.hpp"
 #include "net/profiles.hpp"
 #include "runtime/compiled_executor.hpp"
@@ -68,7 +70,7 @@ std::vector<std::vector<std::uint32_t>> make_inputs(i64 p, i64 elems) {
 
 constexpr i64 kNodes = 64;
 
-/// The pre-PR behaviour: generate the nested schedule, walk it with the
+/// The pre-engine behaviour: generate the nested schedule, walk it with the
 /// reference executor, verify.
 bool run_sweep_reference(const std::vector<Cell>& cells) {
   bool all_ok = true;
@@ -87,15 +89,35 @@ bool run_sweep_reference(const std::vector<Cell>& cells) {
   return all_ok;
 }
 
-/// The compiled path the harness drives: plan from the schedule cache,
-/// compiled executor, compiled verify.
-bool run_sweep_compiled(harness::Runner& runner, const std::vector<Cell>& cells) {
-  bool all_ok = true;
-  for (const Cell& c : cells) {
-    const harness::VerifiedRun v = runner.run_verified(
-        sched::Collective::allreduce, *c.entry, kNodes, c.size_bytes);
-    all_ok &= v.ok;
+/// The compiled path as a declarative plan: every cell executed over real
+/// buffers by the compiled executor (ExecPlan from the schedule cache) and
+/// checked against its MPI postcondition.
+exp::SweepPlan compiled_plan(net::SystemProfile profile) {
+  exp::SweepPlan plan;
+  plan.name = "exec_engine_verify_sweep";
+  exp::SystemSpec spec{std::move(profile)};
+  // Pin the cache on regardless of BINE_SCHED_CACHE: this bench's compiled
+  // timing and the shared-cache demonstration are about the cached path.
+  spec.schedule_cache = true;
+  plan.systems = {std::move(spec)};
+  plan.colls = {sched::Collective::allreduce};
+  for (const auto& entry : coll::algorithms_for(sched::Collective::allreduce)) {
+    if (entry.specialized) continue;
+    if (entry.pow2_only && !is_pow2(kNodes)) continue;
+    plan.series.push_back(exp::Series::single(entry.name));
   }
+  plan.nodes.counts = {kNodes};
+  plan.sizes = {1024, 8192, 32768};
+  plan.backend = exp::Backend::execute_verified;
+  plan.exec_threads = 1;  // small vectors: below the auto-gate threshold anyway
+  plan.threads = 1;       // timing: the engine invocation is the artifact
+  return plan;
+}
+
+bool run_sweep_compiled() {
+  const exp::SweepResult r = exp::run(compiled_plan(net::fugaku_profile({4, 4, 4})));
+  bool all_ok = true;
+  for (const exp::Row& row : r.rows) all_ok &= row.m.ok;
   return all_ok;
 }
 
@@ -130,6 +152,43 @@ bool parity_gate(harness::Runner& runner, const std::vector<Cell>& cells) {
   return true;
 }
 
+/// Satellite: profile the executor's threaded crossover. Times the compiled
+/// executor at threads = 1 vs threads = 4 across vector sizes bracketing
+/// the ~1 MiB gate the ROADMAP names, and reports the smallest profiled
+/// size where threading wins (or -1 when it never does -- expected on
+/// 1-core containers; the JSON records hardware_threads alongside).
+struct ThreadProfilePoint {
+  i64 bytes;
+  double sequential_ms;
+  double threaded_ms;
+};
+
+std::vector<ThreadProfilePoint> profile_threaded_crossover(harness::Runner& runner) {
+  std::vector<ThreadProfilePoint> points;
+  const auto& entry =
+      coll::find_algorithm(sched::Collective::allreduce, "recursive_doubling");
+  for (const i64 bytes : {i64{1} << 16, i64{1} << 18, i64{1} << 20, i64{1} << 22,
+                          i64{1} << 23}) {
+    const runtime::ExecPlan plan =
+        runner.exec_plan(sched::Collective::allreduce, entry, kNodes, bytes);
+    const auto inputs = make_inputs(plan.p, plan.elem_count);
+    auto time_exec = [&](i64 threads) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int round = 0; round < 3; ++round) {
+        const auto t0 = Clock::now();
+        const auto res =
+            runtime::execute<std::uint32_t>(plan, runtime::ReduceOp::sum, inputs,
+                                            threads);
+        best = std::min(best, seconds_since(t0));
+        if (res.messages == 0) std::abort();  // keep the work observable
+      }
+      return 1e3 * best;
+    };
+    points.push_back({bytes, time_exec(1), time_exec(4)});
+  }
+  return points;
+}
+
 }  // namespace
 
 int main() {
@@ -159,19 +218,28 @@ int main() {
     return best;
   };
   const double reference_time = time_mode([&] { return run_sweep_reference(cells); });
-  const double compiled_time =
-      time_mode([&] { return run_sweep_compiled(runner, cells); });
+  const double compiled_time = time_mode([&] { return run_sweep_compiled(); });
   const double speedup = reference_time / compiled_time;
 
-  // Shared-cache demonstration: a second Runner in this process resolves the
-  // same cells purely from hits (zero new generations).
+  // Shared-cache demonstration: a second system's plan in this process
+  // resolves the same cells purely from hits (zero new generations).
   const auto before = sched::process_schedule_cache().stats();
-  harness::Runner second(net::lumi_profile());
-  second.set_schedule_cache(true);
-  const bool second_ok = run_sweep_compiled(second, cells);
+  const exp::SweepResult second = exp::run(compiled_plan(net::lumi_profile()));
+  bool second_ok = true;
+  for (const exp::Row& row : second.rows) second_ok &= row.m.ok;
   const auto after = sched::process_schedule_cache().stats();
   const u64 second_hits = after.hits - before.hits;
   const u64 second_misses = after.misses - before.misses;
+
+  // Threaded-crossover profile (drives the auto-gate default's sanity).
+  const std::vector<ThreadProfilePoint> profile = profile_threaded_crossover(runner);
+  i64 crossover = -1;
+  for (const ThreadProfilePoint& pt : profile)
+    if (pt.threaded_ms < pt.sequential_ms) {
+      crossover = pt.bytes;
+      break;
+    }
+  const unsigned cores = std::thread::hardware_concurrency();
 
   std::printf("reference: %8.2f ms per sweep (nested walk + per-slot copies)\n",
               1e3 * reference_time);
@@ -182,8 +250,29 @@ int main() {
               static_cast<unsigned long long>(second_hits),
               static_cast<unsigned long long>(second_misses),
               second_ok ? "all verified" : "VERIFY FAILED");
+  std::printf("threaded crossover: ");
+  for (const ThreadProfilePoint& pt : profile)
+    std::printf("%lldKiB %.2f/%.2fms  ", static_cast<long long>(pt.bytes >> 10),
+                pt.sequential_ms, pt.threaded_ms);
+  const std::string crossover_label =
+      crossover < 0 ? "never (underpowered runner)"
+                    : std::to_string(crossover) + " bytes";
+  std::printf("\n  -> threads>1 wins from %s (auto gate: %lld bytes, %u hardware "
+              "threads)\n",
+              crossover_label.c_str(),
+              static_cast<long long>(runtime::kExecAutoThreadBytes), cores);
 
   if (std::FILE* f = std::fopen("BENCH_exec.json", "w")) {
+    std::string profile_json;
+    for (size_t i = 0; i < profile.size(); ++i) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"bytes\": %lld, \"sequential_ms\": %.3f, "
+                    "\"threads4_ms\": %.3f}",
+                    i ? ", " : "", static_cast<long long>(profile[i].bytes),
+                    profile[i].sequential_ms, profile[i].threaded_ms);
+      profile_json += buf;
+    }
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"exec_engine\",\n"
@@ -194,12 +283,18 @@ int main() {
                  "  \"speedup\": %.2f,\n"
                  "  \"parity_bit_exact\": %s,\n"
                  "  \"second_runner_cache_hits\": %llu,\n"
-                 "  \"second_runner_cache_misses\": %llu\n"
+                 "  \"second_runner_cache_misses\": %llu,\n"
+                 "  \"exec_thread_profile\": [%s],\n"
+                 "  \"threaded_crossover_bytes_measured\": %lld,\n"
+                 "  \"threads_auto_gate_bytes\": %lld,\n"
+                 "  \"hardware_threads\": %u\n"
                  "}\n",
                  cells.size(), 1e3 * reference_time, 1e3 * compiled_time, speedup,
                  parity ? "true" : "false",
                  static_cast<unsigned long long>(second_hits),
-                 static_cast<unsigned long long>(second_misses));
+                 static_cast<unsigned long long>(second_misses), profile_json.c_str(),
+                 static_cast<long long>(crossover),
+                 static_cast<long long>(runtime::kExecAutoThreadBytes), cores);
     std::fclose(f);
     std::printf("wrote BENCH_exec.json\n");
   }

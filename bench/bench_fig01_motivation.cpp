@@ -1,10 +1,15 @@
 // Figure 1: global-link traffic of a broadcast over an 8-node 2:1
 // oversubscribed fat tree (2 nodes per leaf switch). Distance-doubling
 // binomial forwards 6n bytes over global links, distance-halving only 3n.
+//
+// Plan: a Backend::traffic sweep over the three tree algorithms on an
+// ad-hoc fat-tree SystemSpec with identity placement; the per-direction
+// global volume is formatted from the rows' traffic accounting.
 #include <cstdio>
+#include <memory>
 
 #include "coll/registry.hpp"
-#include "net/simulate.hpp"
+#include "exp/sweep.hpp"
 #include "net/topology.hpp"
 
 using namespace bine;
@@ -12,24 +17,42 @@ using namespace bine;
 int main() {
   std::printf("=== Fig. 1: broadcast global-link traffic, 8 nodes, 2:1 fat tree ===\n");
   const i64 n = 1 << 20;  // 1 MiB vector
-  net::FatTree topo(/*num_leaves=*/4, /*nodes_per_leaf=*/2, /*oversub=*/2, 25e9);
-  const net::Placement pl = net::Placement::identity(8);
 
-  coll::Config cfg;
-  cfg.p = 8;
-  cfg.elem_count = n / 4;
-  cfg.elem_size = 4;
+  exp::SweepPlan plan;
+  plan.name = "fig01_motivation";
+  exp::SystemSpec spec;
+  spec.profile.name = "fat_tree_8";
+  spec.profile.description = "2:1 fat tree, 4 leaves x 2 nodes";
+  spec.profile.build = [](i64) -> std::unique_ptr<net::Topology> {
+    return std::make_unique<net::FatTree>(/*num_leaves=*/4, /*nodes_per_leaf=*/2,
+                                          /*oversub=*/2, 25e9);
+  };
+  spec.spread_placement = false;  // identity placement, as the figure assumes
+  plan.systems = {std::move(spec)};
+  plan.colls = {sched::Collective::bcast};
+  plan.series = {exp::Series::single("binomial"), exp::Series::single("binomial_dh"),
+                 exp::Series::single("bine")};
+  plan.nodes.counts = {8};
+  plan.sizes = {n};
+  plan.backend = exp::Backend::traffic;
+  const exp::SweepResult result = exp::run(plan);
 
   std::printf("%-28s %14s %14s\n", "Algorithm", "GlobalBytes/n", "LocalMsgs");
-  for (const char* name : {"binomial", "binomial_dh", "bine"}) {
-    const auto& entry = coll::find_algorithm(sched::Collective::bcast, name);
-    const sched::Schedule sch = entry.make(cfg);
-    const net::TrafficStats t = net::measure_traffic(sch, topo, pl);
+  for (size_t k = 0; k < result.series_labels.size(); ++k) {
+    const exp::Metrics& m = result.at(0, 0, 0, 0, k);
+    // Label rows with the schedule-level algorithm name (e.g.
+    // "bcast_binomial_dd_tree"), as the figure always has; regenerating the
+    // 8-rank schedule for its name is free.
+    coll::Config cfg;
+    cfg.p = 8;
+    cfg.elem_count = 8;
+    const std::string label =
+        coll::find_algorithm(sched::Collective::bcast, m.algorithm).make(cfg).algorithm;
     // Each inter-leaf message crosses one uplink and one downlink; report the
     // per-direction global volume in units of the vector size n, as Fig. 1.
-    std::printf("%-28s %14.1f %14lld\n", sch.algorithm.c_str(),
-                static_cast<double>(t.global_bytes) / 2.0 / static_cast<double>(n),
-                static_cast<long long>(t.messages));
+    std::printf("%-28s %14.1f %14lld\n", label.c_str(),
+                static_cast<double>(m.global_bytes) / 2.0 / static_cast<double>(n),
+                static_cast<long long>(m.messages));
   }
   std::printf("\nExpected from the paper: distance-doubling = 6n, distance-halving = 3n.\n"
               "Bine matches the distance-halving bound while also shortening the\n"

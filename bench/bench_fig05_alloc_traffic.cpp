@@ -2,12 +2,20 @@
 // Bine allreduce vs the standard butterfly allreduce, across synthetic
 // scheduler allocations on Leonardo-like and LUMI-like machines, grouped by
 // job size. The theoretical 33% bound must never be exceeded.
+//
+// Plan: one Backend::custom sweep per machine -- the node axis is the job
+// size, the size axis the sample index. Jobs are pre-sampled serially (the
+// synthetic scheduler's RNG stream is sequential state), then the expensive
+// part -- the tree-traffic accounting per sampled job -- runs as sweep
+// cells, bit-identical to the old serial loop.
 #include <cstdio>
+#include <map>
 #include <vector>
 
 #include "alloc/allocation.hpp"
 #include "coll/tree_colls.hpp"
 #include "core/tree.hpp"
+#include "exp/sweep.hpp"
 #include "harness/tables.hpp"
 #include "net/simulate.hpp"
 
@@ -21,40 +29,67 @@ void study(const char* label, alloc::Machine machine, const std::vector<i64>& jo
               static_cast<long long>(machine.num_groups),
               static_cast<long long>(machine.nodes_per_group), jobs_per_size);
   harness::BoxStats::print_header("Global traffic reduction of Bine allreduce", "red.");
+
+  // Pre-sample every job in the exact order the old serial loop drew them
+  // (the scheduler RNG is one sequential stream; sampling inside sharded
+  // cells would reorder it).
   alloc::SyntheticScheduler scheduler(machine, /*busy_fraction=*/0.4, /*seed=*/7);
-  double observed_max = 0;
+  std::map<std::pair<i64, i64>, alloc::JobAllocation> jobs;
+  std::vector<i64> sizes_used;
   for (const i64 size : job_sizes) {
     if (size > machine.num_nodes()) continue;
-    std::vector<double> reductions;
-    for (int j = 0; j < jobs_per_size; ++j) {
-      const alloc::JobAllocation job = scheduler.sample_job(size);
-      const std::vector<i64> groups = job.groups_on(machine);
+    sizes_used.push_back(size);
+    for (int j = 0; j < jobs_per_size; ++j)
+      jobs.emplace(std::make_pair(size, i64{j}), scheduler.sample_job(size));
+  }
 
-      // The paper estimates the allreduce as tree-based (reduce + broadcast
-      // over binomial vs Bine trees), where every edge carries the full
-      // vector -- the regime the 33% bound of Eq. 2 applies to.
-      coll::Config cfg;
-      cfg.p = size;
-      cfg.elem_count = 1 << 16;
-      cfg.elem_size = 4;
-      const i64 bine =
-          net::inter_group_bytes(coll::reduce_tree(cfg, core::TreeVariant::bine_dh),
-                                 groups) +
-          net::inter_group_bytes(coll::bcast_tree(cfg, core::TreeVariant::bine_dh),
-                                 groups);
-      const i64 binom =
-          net::inter_group_bytes(coll::reduce_tree(cfg, core::TreeVariant::binomial_dh),
-                                 groups) +
-          net::inter_group_bytes(coll::bcast_tree(cfg, core::TreeVariant::binomial_dh),
-                                 groups);
-      if (binom == 0) continue;  // job fits one group: nothing to reduce
-      const double red =
-          100.0 * (1.0 - static_cast<double>(bine) / static_cast<double>(binom));
-      reductions.push_back(red);
-      observed_max = std::max(observed_max, red);
+  exp::SweepPlan plan;
+  plan.name = std::string("fig05_alloc_") + label;
+  plan.backend = exp::Backend::custom;
+  plan.nodes.counts = sizes_used;  // the job-size axis
+  for (int j = 0; j < jobs_per_size; ++j) plan.sizes.push_back(j);  // sample index
+  plan.metric = [&](const exp::CellCtx& ctx) {
+    const alloc::JobAllocation& job = jobs.at({ctx.nodes, ctx.size_bytes});
+    const std::vector<i64> groups = job.groups_on(machine);
+
+    // The paper estimates the allreduce as tree-based (reduce + broadcast
+    // over binomial vs Bine trees), where every edge carries the full
+    // vector -- the regime the 33% bound of Eq. 2 applies to.
+    coll::Config cfg;
+    cfg.p = ctx.nodes;
+    cfg.elem_count = 1 << 16;
+    cfg.elem_size = 4;
+    const i64 bine =
+        net::inter_group_bytes(coll::reduce_tree(cfg, core::TreeVariant::bine_dh),
+                               groups) +
+        net::inter_group_bytes(coll::bcast_tree(cfg, core::TreeVariant::bine_dh),
+                               groups);
+    const i64 binom =
+        net::inter_group_bytes(coll::reduce_tree(cfg, core::TreeVariant::binomial_dh),
+                               groups) +
+        net::inter_group_bytes(coll::bcast_tree(cfg, core::TreeVariant::binomial_dh),
+                               groups);
+    exp::Metrics m;
+    if (binom == 0) {
+      m.skipped = true;  // job fits one group: nothing to reduce
+    } else {
+      m.value = 100.0 * (1.0 - static_cast<double>(bine) / static_cast<double>(binom));
+    }
+    return m;
+  };
+  const exp::SweepResult result = exp::run(plan);
+
+  double observed_max = 0;
+  for (size_t ni = 0; ni < sizes_used.size(); ++ni) {
+    std::vector<double> reductions;
+    for (size_t si = 0; si < result.sizes.size(); ++si) {
+      const exp::Metrics& m = result.at(0, 0, ni, si, 0);
+      if (m.skipped) continue;
+      reductions.push_back(m.value);
+      observed_max = std::max(observed_max, m.value);
     }
     const harness::BoxStats st = harness::BoxStats::of(std::move(reductions));
-    std::printf("%s\n", st.row(std::to_string(size) + " nodes").c_str());
+    std::printf("%s\n", st.row(std::to_string(sizes_used[ni]) + " nodes").c_str());
   }
   std::printf("Largest observed reduction: %.1f%% (theoretical bound: 33.3%%)\n\n",
               observed_max);

@@ -1,12 +1,17 @@
 // Figure 9a: allreduce heatmap on LUMI -- per (nodes, vector size) cell,
 // either Bine's speedup over the next-best algorithm or the letter of the
 // winning state-of-the-art algorithm.
-#include "bench_common.hpp"
+//
+// Plan: exp::paper::sota_heatmap run through the sweep engine.
+#include "exp/paper_plans.hpp"
+#include "exp/report.hpp"
+#include "net/profiles.hpp"
 
 int main() {
-  bine::harness::Runner runner(bine::net::lumi_profile());
-  bine::bench::run_sota_heatmap(runner, bine::sched::Collective::allreduce,
-                                {16, 32, 64, 128, 256, 512, 1024},
-                                bine::harness::paper_vector_sizes(false));
+  using namespace bine;
+  const exp::SweepResult result = exp::run(exp::paper::sota_heatmap(
+      net::lumi_profile(), sched::Collective::allreduce,
+      {16, 32, 64, 128, 256, 512, 1024}, harness::paper_vector_sizes(false)));
+  exp::print_sota_heatmap(result);
   return 0;
 }

@@ -1,11 +1,17 @@
 // Figure 9b: per-collective box plots of Bine's improvement over the best
 // state-of-the-art algorithm on LUMI, restricted to winning configurations.
-#include "bench_common.hpp"
+//
+// Plan: exp::paper::sota_boxplots run through the sweep engine.
+#include "coll/registry.hpp"
+#include "exp/paper_plans.hpp"
+#include "exp/report.hpp"
+#include "net/profiles.hpp"
 
 int main() {
-  bine::harness::Runner runner(bine::net::lumi_profile());
-  bine::bench::run_sota_boxplots(runner, {16, 64, 256, 1024},
-                                 bine::harness::paper_vector_sizes(false),
-                                 bine::coll::all_collectives());
+  using namespace bine;
+  const exp::SweepResult result = exp::run(exp::paper::sota_boxplots(
+      net::lumi_profile(), {16, 64, 256, 1024}, harness::paper_vector_sizes(false),
+      coll::all_collectives()));
+  exp::print_sota_boxplots(result);
   return 0;
 }

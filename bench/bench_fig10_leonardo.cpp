@@ -1,15 +1,23 @@
 // Figure 10: allreduce heatmap (a) and per-collective box plots (b) against
 // the state of the art on Leonardo (Dragonfly+).
-#include "bench_common.hpp"
+//
+// Plans: exp::paper::sota_heatmap + exp::paper::sota_boxplots, both run
+// through the sweep engine.
+#include <cstdio>
+
+#include "coll/registry.hpp"
+#include "exp/paper_plans.hpp"
+#include "exp/report.hpp"
+#include "net/profiles.hpp"
 
 int main() {
-  bine::harness::Runner runner(bine::net::leonardo_profile());
-  bine::bench::run_sota_heatmap(runner, bine::sched::Collective::allreduce,
-                                {16, 32, 64, 128, 256, 512, 1024},
-                                bine::harness::paper_vector_sizes(false));
+  using namespace bine;
+  exp::print_sota_heatmap(exp::run(exp::paper::sota_heatmap(
+      net::leonardo_profile(), sched::Collective::allreduce,
+      {16, 32, 64, 128, 256, 512, 1024}, harness::paper_vector_sizes(false))));
   std::printf("\n");
-  bine::bench::run_sota_boxplots(runner, {16, 64, 256},
-                                 bine::harness::paper_vector_sizes(false),
-                                 bine::coll::all_collectives());
+  exp::print_sota_boxplots(exp::run(exp::paper::sota_boxplots(
+      net::leonardo_profile(), {16, 64, 256}, harness::paper_vector_sizes(false),
+      coll::all_collectives())));
   return 0;
 }

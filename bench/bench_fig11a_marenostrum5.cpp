@@ -1,11 +1,17 @@
 // Figure 11a: per-collective box plots against the state of the art on
 // MareNostrum 5 (2:1 oversubscribed fat tree), up to 64 nodes.
-#include "bench_common.hpp"
+//
+// Plan: exp::paper::sota_boxplots run through the sweep engine.
+#include "coll/registry.hpp"
+#include "exp/paper_plans.hpp"
+#include "exp/report.hpp"
+#include "net/profiles.hpp"
 
 int main() {
-  bine::harness::Runner runner(bine::net::mn5_profile());
-  bine::bench::run_sota_boxplots(runner, {4, 8, 16, 32, 64},
-                                 bine::harness::paper_vector_sizes(false),
-                                 bine::coll::all_collectives());
+  using namespace bine;
+  const exp::SweepResult result = exp::run(exp::paper::sota_boxplots(
+      net::mn5_profile(), {4, 8, 16, 32, 64}, harness::paper_vector_sizes(false),
+      coll::all_collectives()));
+  exp::print_sota_boxplots(result);
   return 0;
 }

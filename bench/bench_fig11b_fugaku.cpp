@@ -3,11 +3,41 @@
 // against the Bucket (multi-dimensional ring) baseline, the single-port
 // torus Bine, and the topology-agnostic algorithms Fujitsu MPI would fall
 // back to.
+//
+// Plans: one explicit-series sweep per sub-torus (series = bine_torus_multiport /
+// bucket / best flat algorithm) plus exp::paper::sota_boxplots on the 8x8x8
+// shape -- the torus shape and identity placement live on the plan's
+// SystemSpec, not in driver loops.
+#include <algorithm>
 #include <cstdio>
 
-#include "bench_common.hpp"
+#include "exp/paper_plans.hpp"
+#include "exp/report.hpp"
+#include "net/profiles.hpp"
 
 using namespace bine;
+
+namespace {
+
+exp::SweepPlan torus_plan(const std::vector<i64>& dims, i64 p) {
+  exp::SweepPlan plan;
+  plan.name = "fig11b_torus";
+  exp::SystemSpec spec;
+  spec.profile = net::fugaku_profile(dims);
+  spec.spread_placement = false;
+  spec.torus_dims = dims;
+  plan.systems = {std::move(spec)};
+  plan.colls = {sched::Collective::allreduce};
+  plan.series = {exp::Series::single("bine_torus_multiport"),
+                 exp::Series::single("bucket"),
+                 exp::Series::best_of("flat", {"recursive_doubling", "rabenseifner",
+                                              "ring"})};
+  plan.nodes.counts = {p};
+  plan.sizes = harness::paper_vector_sizes(false);
+  return plan;
+}
+
+}  // namespace
 
 int main() {
   std::printf("=== Fig. 11b: torus collectives on Fugaku-like sub-tori ===\n");
@@ -15,40 +45,33 @@ int main() {
   for (const auto& dims : shapes) {
     i64 p = 1;
     for (const i64 d : dims) p *= d;
-    harness::Runner runner(net::fugaku_profile(dims), /*spread_placement=*/false);
-    runner.torus_dims = dims;
+    const exp::SweepResult result = exp::run(torus_plan(dims, p));
     std::printf("\n--- %lldx%lldx%lld (%lld nodes) ---\n",
                 static_cast<long long>(dims[0]), static_cast<long long>(dims[1]),
                 static_cast<long long>(dims[2]), static_cast<long long>(p));
     std::printf("%-10s %24s %14s %14s\n", "size", "winner", "bine_torus_mp",
                 "vs bucket");
-    for (const i64 size : harness::paper_vector_sizes(false)) {
-      const auto multiport = runner.run(
-          sched::Collective::allreduce,
-          coll::find_algorithm(sched::Collective::allreduce, "bine_torus_multiport"), p,
-          size);
-      const auto bucket = runner.run(
-          sched::Collective::allreduce,
-          coll::find_algorithm(sched::Collective::allreduce, "bucket"), p, size);
-      const auto flat = runner.best_of(sched::Collective::allreduce,
-                                       {"recursive_doubling", "rabenseifner", "ring"}, p,
-                                       size);
-      const double best_other = std::min(bucket.seconds, flat.second.seconds);
+    for (size_t si = 0; si < result.sizes.size(); ++si) {
+      const exp::Metrics& multiport = result.at(0, 0, 0, si, 0);
+      const exp::Metrics& bucket = result.at(0, 0, 0, si, 1);
+      const exp::Metrics& flat = result.at(0, 0, 0, si, 2);
+      const double best_other = std::min(bucket.seconds, flat.seconds);
       const char* winner = multiport.seconds < best_other ? "bine_torus_multiport"
-                           : (bucket.seconds < flat.second.seconds ? "bucket"
-                                                                   : flat.first.c_str());
-      std::printf("%-10s %24s %13.1fx %13.2fx\n", harness::size_label(size).c_str(),
-                  winner, best_other / multiport.seconds,
-                  bucket.seconds / multiport.seconds);
+                           : (bucket.seconds < flat.seconds ? "bucket"
+                                                            : flat.algorithm.c_str());
+      std::printf("%-10s %24s %13.1fx %13.2fx\n",
+                  harness::size_label(result.sizes[si]).c_str(), winner,
+                  best_other / multiport.seconds, bucket.seconds / multiport.seconds);
     }
   }
   std::printf("\nBox-plot summaries (allreduce/reduce-scatter/allgather vs all "
               "non-Bine algorithms) on the 8x8x8 torus:\n");
-  harness::Runner runner(net::fugaku_profile({8, 8, 8}), false);
-  runner.torus_dims = {8, 8, 8};
-  bench::run_sota_boxplots(runner, {512}, harness::paper_vector_sizes(false),
-                           {sched::Collective::allreduce,
-                            sched::Collective::reduce_scatter,
-                            sched::Collective::allgather});
+  exp::SweepPlan box = exp::paper::sota_boxplots(
+      net::fugaku_profile({8, 8, 8}), {512}, harness::paper_vector_sizes(false),
+      {sched::Collective::allreduce, sched::Collective::reduce_scatter,
+       sched::Collective::allgather});
+  box.systems[0].spread_placement = false;
+  box.systems[0].torus_dims = {8, 8, 8};
+  exp::print_sota_boxplots(exp::run(box));
   return 0;
 }

@@ -2,45 +2,45 @@
 // block, P = permute, S = send, T = two transmissions) wins for the Bine
 // allgather on a LUMI-like system, per (nodes, vector size) cell, and its
 // gain over the standard recursive-doubling butterfly.
+//
+// Plan: one explicit-series sweep (best-of the four strategies + the
+// recursive-doubling baseline); the letter grid is formatted from the rows.
 #include <cstdio>
+#include <map>
 
-#include "bench_common.hpp"
+#include "exp/sweep.hpp"
+#include "net/profiles.hpp"
 
 using namespace bine;
 
 int main() {
   std::printf("=== Fig. 14: allgather non-contiguous strategies on LUMI ===\n");
-  harness::Runner runner(net::lumi_profile());
-  const std::vector<i64> nodes = {8, 16, 32, 64, 128, 256, 512, 1024};
-  const std::vector<i64> sizes = harness::paper_vector_sizes(false);
-  const std::vector<std::pair<const char*, char>> strategies = {
-      {"bine_block", 'B'}, {"bine_permute", 'P'}, {"bine_send", 'S'},
-      {"bine_two_trans", 'T'}};
+  const std::map<std::string, char> letters = {{"bine_block", 'B'},
+                                               {"bine_permute", 'P'},
+                                               {"bine_send", 'S'},
+                                               {"bine_two_trans", 'T'}};
+
+  exp::SweepPlan plan;
+  plan.name = "fig14_noncontig";
+  plan.systems = {exp::SystemSpec{net::lumi_profile()}};
+  plan.colls = {sched::Collective::allgather};
+  plan.series = {exp::Series::best_of("strategy", {"bine_block", "bine_permute",
+                                                   "bine_send", "bine_two_trans"}),
+                 exp::Series::single("recursive_doubling")};
+  plan.nodes.counts = {8, 16, 32, 64, 128, 256, 512, 1024};
+  plan.sizes = harness::paper_vector_sizes(false);
+  const exp::SweepResult result = exp::run(plan);
 
   std::printf("%-10s", "");
-  for (const i64 n : nodes) std::printf(" %9lld", static_cast<long long>(n));
+  for (const i64 n : plan.nodes.counts) std::printf(" %9lld", static_cast<long long>(n));
   std::printf("\n");
-  for (const i64 size : sizes) {
-    std::printf("%-10s", harness::size_label(size).c_str());
-    for (const i64 n : nodes) {
-      char best = '?';
-      double best_time = 1e300;
-      for (const auto& [name, letter] : strategies) {
-        const auto& entry = coll::find_algorithm(sched::Collective::allgather, name);
-        if (entry.pow2_only && !is_pow2(n)) continue;
-        const double t = runner.run(sched::Collective::allgather, entry, n, size).seconds;
-        if (t < best_time) {
-          best_time = t;
-          best = letter;
-        }
-      }
-      const double baseline =
-          runner
-              .run(sched::Collective::allgather,
-                   coll::find_algorithm(sched::Collective::allgather, "recursive_doubling"),
-                   n, size)
-              .seconds;
-      std::printf("  %c %5.2fx", best, baseline / best_time);
+  for (size_t si = 0; si < result.sizes.size(); ++si) {
+    std::printf("%-10s", harness::size_label(result.sizes[si]).c_str());
+    for (size_t ni = 0; ni < plan.nodes.counts.size(); ++ni) {
+      const exp::Metrics& best = result.at(0, 0, ni, si, 0);
+      const exp::Metrics& baseline = result.at(0, 0, ni, si, 1);
+      std::printf("  %c %5.2fx", letters.at(best.algorithm),
+                  baseline.seconds / best.seconds);
     }
     std::printf("\n");
   }

@@ -5,25 +5,22 @@
 // arena-backed BlockSets, where one cached structure serves a whole
 // message-size sweep and each cell only resolves bytes and simulates.
 //
-// Sweep: the bine/binomial/sota best-variant queries of one evaluation-table
+// Plan: the bine/binomial/sota best-variant series of one evaluation-table
 // column family -- six collectives x every power-of-two vector size from
-// 32 B to 1 GiB on a Torus(4x4x4) system -- i.e. a generation-dominated
-// tuning grid in the shape of Tables 3-5 (the tables sample nine of these
-// sizes; autotuning sweeps the dense grid, which is exactly the workload the
-// size-independent cache exists for). Both modes run the identical batched
-// Runner::sweep on one
-// worker thread; each timing round constructs a fresh Runner, so the cached
-// mode pays its per-(algorithm, p) generation miss once per round and
-// amortizes it across the 26 sizes, exactly as a real sweep does.
-// Emits BENCH_gen.json with sweeps per second for both modes, the speedup,
-// and the parity gate (cached results must be bit-identical to uncached).
+// 32 B to 1 GiB on a Torus(4x4x4) system -- run through exp::run on one
+// shard. The schedule-cache mode lives on the plan's SystemSpec (private
+// cache, so each timing round pays the per-(algorithm, p) miss once and
+// amortizes it across the 26 sizes, exactly as a real sweep does); the
+// timed artifact is the whole engine invocation. Emits BENCH_gen.json with
+// the speedup and the parity gate (cached rows must be bit-identical to
+// uncached rows).
 #include <chrono>
 #include <cstdio>
 #include <limits>
 #include <string>
 #include <vector>
 
-#include "harness/runner.hpp"
+#include "exp/sweep.hpp"
 #include "net/profiles.hpp"
 
 using namespace bine;
@@ -35,56 +32,47 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-std::vector<harness::SweepQuery> build_queries() {
-  std::vector<harness::SweepQuery> queries;
-  const sched::Collective colls[] = {
-      sched::Collective::allreduce,      sched::Collective::bcast,
-      sched::Collective::reduce,         sched::Collective::allgather,
-      sched::Collective::reduce_scatter, sched::Collective::alltoall,
-  };
-  for (const sched::Collective coll : colls)
-    for (i64 size = 32; size <= (i64{1} << 30); size <<= 1) {
-      queries.push_back({coll, 64, size, harness::SweepQuery::Kind::bine, true});
-      queries.push_back({coll, 64, size, harness::SweepQuery::Kind::binomial, false});
-      queries.push_back({coll, 64, size, harness::SweepQuery::Kind::sota, false});
-    }
-  return queries;
+exp::SweepPlan build_plan(bool cached) {
+  exp::SweepPlan plan;
+  // One name for both modes: the cache mode lives on the SystemSpec, and the
+  // parity gate compares the full canonical JSON (name included).
+  plan.name = "schedule_gen";
+  exp::SystemSpec spec;
+  spec.profile = net::fugaku_profile({4, 4, 4});
+  spec.schedule_cache = cached;
+  // Cold cache per engine invocation: the bench times the per-sweep miss +
+  // amortize pattern, so opt out of the process-wide shared cache.
+  spec.private_cache = true;
+  plan.systems = {std::move(spec)};
+  plan.colls = {sched::Collective::allreduce,      sched::Collective::bcast,
+                sched::Collective::reduce,         sched::Collective::allgather,
+                sched::Collective::reduce_scatter, sched::Collective::alltoall};
+  plan.series = {exp::Series::best_bine(/*contiguous_only=*/true),
+                 exp::Series::best_binomial(), exp::Series::best_sota()};
+  plan.nodes.counts = {64};
+  for (i64 size = 32; size <= (i64{1} << 30); size <<= 1) plan.sizes.push_back(size);
+  plan.backend = exp::Backend::simulate;
+  plan.threads = 1;
+  return plan;
 }
 
-using SweepResults = std::vector<std::pair<std::string, harness::RunResult>>;
-
-bool identical(const SweepResults& a, const SweepResults& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].first != b[i].first) return false;
-    if (a[i].second.seconds != b[i].second.seconds) return false;  // bitwise
-    if (a[i].second.global_bytes != b[i].second.global_bytes) return false;
-    if (a[i].second.total_bytes != b[i].second.total_bytes) return false;
-    if (a[i].second.steps != b[i].second.steps) return false;
-  }
-  return true;
+bool identical(const exp::SweepResult& a, const exp::SweepResult& b) {
+  // Canonical JSON covers every metric field (seconds at full %.17g
+  // precision, bytes, messages, steps) in canonical row order.
+  return a.to_json() == b.to_json();
 }
 
 }  // namespace
 
 int main() {
-  const auto queries = build_queries();
+  const size_t num_queries = 6 * 26 * 3;
   std::printf("sweep: %zu best-variant queries (6 collectives x 26 sizes x 3 kinds) "
               "on fugaku torus 4x4x4 (64 ranks)\n",
-              queries.size());
-
-  auto run_sweep = [&](bool cached) {
-    harness::Runner runner(net::fugaku_profile({4, 4, 4}));
-    runner.set_schedule_cache(cached);
-    // Cold cache per round: the bench times the per-sweep miss + amortize
-    // pattern, so opt out of the process-wide shared cache.
-    runner.use_private_schedule_cache();
-    return runner.sweep(queries, /*threads=*/1);
-  };
+              num_queries);
 
   // Parity gate first: timing means nothing if the fast path diverges.
-  const SweepResults uncached_results = run_sweep(false);
-  const SweepResults cached_results = run_sweep(true);
+  const exp::SweepResult uncached_results = exp::run(build_plan(false));
+  const exp::SweepResult cached_results = exp::run(build_plan(true));
   const bool parity = identical(uncached_results, cached_results);
   if (!parity) {
     std::fprintf(stderr, "FAIL: cached sweep diverges from uncached sweep\n");
@@ -92,14 +80,15 @@ int main() {
   }
 
   // Best of three rounds per mode: noise on a shared machine only ever adds
-  // time, so the min is the most faithful sweep cost.
+  // time, so the min is the most faithful sweep cost. Each round is a fresh
+  // engine invocation (fresh Runner, cold private cache).
   auto time_mode = [&](bool cached) {
     double best = std::numeric_limits<double>::infinity();
     for (int round = 0; round < 3; ++round) {
       const auto t0 = Clock::now();
-      const SweepResults r = run_sweep(cached);
+      const exp::SweepResult r = exp::run(build_plan(cached));
       best = std::min(best, seconds_since(t0));
-      if (r.size() != queries.size()) std::abort();  // keep the work observable
+      if (r.rows.size() != num_queries) std::abort();  // keep the work observable
     }
     return best;
   };
@@ -124,7 +113,7 @@ int main() {
                  "  \"speedup\": %.2f,\n"
                  "  \"parity_bit_exact\": %s\n"
                  "}\n",
-                 queries.size(), 1e3 * uncached_time, 1e3 * cached_time, speedup,
+                 num_queries, 1e3 * uncached_time, 1e3 * cached_time, speedup,
                  parity ? "true" : "false");
     std::fclose(f);
     std::printf("wrote BENCH_gen.json\n");

@@ -3,13 +3,12 @@
 // via measure_traffic) vs the compiled path (RouteCache + flat IR lowered
 // into reused buffers, one pass).
 //
-// Sweep: every non-specialized allreduce algorithm x the paper's vector
-// sizes on a Torus(4x4x4), the configuration named by the perf acceptance
-// criterion. The harness simulates one generated schedule at a time, so the
-// bench does too: each (algorithm, size) cell generates its schedule
-// (untimed, identical for both engines), then times each engine on it.
-// Emits BENCH_sim.json with schedules simulated per second for both engines
-// and the speedup, to seed the perf trajectory across PRs.
+// Plan: a Backend::custom sweep -- series are the non-specialized allreduce
+// algorithms, the size axis the paper's vector sizes, on a Torus(4x4x4).
+// Each cell generates its schedule (untimed, identical for both engines),
+// asserts engine parity, then times each engine; the per-cell engine times
+// ride in the row's extra field. plan.threads = 1: timing cells never
+// contend. Emits BENCH_sim.json as before.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -18,6 +17,7 @@
 #include <vector>
 
 #include "coll/registry.hpp"
+#include "exp/sweep.hpp"
 #include "net/route_cache.hpp"
 #include "net/simulate.hpp"
 #include "net/topology.hpp"
@@ -32,11 +32,6 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-struct Cell {
-  std::string algorithm;
-  i64 size = 0;
-};
-
 }  // namespace
 
 int main() {
@@ -45,30 +40,40 @@ int main() {
   net::CostParams cp;
   cp.alpha_local = cp.alpha_global = 1.0e-6;  // torus: no separate global tier
 
-  std::vector<Cell> cells;
+  exp::SweepPlan plan;
+  plan.name = "sim_engine";
+  plan.backend = exp::Backend::custom;
+  plan.threads = 1;
+  plan.nodes.counts = {topo.num_nodes()};
+  plan.sizes = {32, 256, 2048, 16384, 131072, 1048576, 8388608};
   for (const auto& entry : coll::algorithms_for(sched::Collective::allreduce)) {
     if (entry.specialized) continue;
     if (entry.pow2_only && !is_pow2(topo.num_nodes())) continue;
-    for (const i64 size : {32, 256, 2048, 16384, 131072, 1048576, 8388608})
-      cells.push_back({entry.name, size});
+    plan.series.push_back(exp::Series::best_of(entry.name, {}));
   }
   std::printf("sweep: %zu allreduce schedules on torus 4x4x4 (%lld ranks)\n",
-              cells.size(), static_cast<long long>(topo.num_nodes()));
+              plan.series.size() * plan.sizes.size(),
+              static_cast<long long>(topo.num_nodes()));
 
   const net::RouteCache rc(topo, pl);
   sched::CompiledSchedule lowered;  // reused across cells, as the harness does
-
-  // Per-cell engine times (seconds), plus the parity gate: the two engines
-  // must agree before timing means anything.
   const double per_cell_budget = 0.01;
-  double naive_total = 0, compiled_total = 0, max_rel_err = 0;
-  for (const Cell& cell : cells) {
+  bool parity_failed = false;
+
+  plan.metric = [&](const exp::CellCtx& ctx) -> exp::Metrics {
+    if (parity_failed) return {};  // fail fast: skip the remaining timings
     coll::Config cfg;
     cfg.p = topo.num_nodes();
-    cfg.elem_count = std::max<i64>(cfg.p, cell.size / cfg.elem_size);
+    cfg.elem_count = std::max<i64>(cfg.p, ctx.size_bytes / cfg.elem_size);
+    const std::string& algorithm =
+        ctx.plan->series[ctx.series].label;
     const sched::Schedule sch =
-        coll::find_algorithm(sched::Collective::allreduce, cell.algorithm).make(cfg);
+        coll::find_algorithm(sched::Collective::allreduce, algorithm).make(cfg);
 
+    exp::Metrics m;
+    m.algorithm = algorithm;
+
+    // Parity gate: the two engines must agree before timing means anything.
     const net::SimResult ref = net::simulate_reference(sch, topo, pl, cp);
     sched::CompiledSchedule::lower_into(sch, lowered);
     const net::SimResult fast = net::simulate(lowered, rc, cp);
@@ -76,15 +81,16 @@ int main() {
         ref.traffic.global_bytes != fast.traffic.global_bytes ||
         ref.traffic.intra_node_bytes != fast.traffic.intra_node_bytes ||
         ref.traffic.messages != fast.traffic.messages) {
-      std::fprintf(stderr, "FAIL: traffic mismatch on %s\n", cell.algorithm.c_str());
-      return 1;
+      std::fprintf(stderr, "FAIL: traffic mismatch on %s\n", algorithm.c_str());
+      parity_failed = true;
+      return m;
     }
     const double rel = std::abs(fast.seconds - ref.seconds) / std::abs(ref.seconds);
-    max_rel_err = std::max(max_rel_err, rel);
-    if (max_rel_err > 1e-12) {
+    if (rel > 1e-12) {
       std::fprintf(stderr, "FAIL: seconds diverge on %s (rel err %.3g > 1e-12)\n",
-                   cell.algorithm.c_str(), rel);
-      return 1;
+                   algorithm.c_str(), rel);
+      parity_failed = true;
+      return m;
     }
 
     // Best of three rounds per engine: noise on a shared machine only ever
@@ -103,17 +109,29 @@ int main() {
       }
       return best;
     };
-    naive_total += time_engine(
+    const double naive = time_engine(
         [&] { checksum += net::simulate_reference(sch, topo, pl, cp).seconds; });
-    compiled_total += time_engine([&] {
+    const double compiled = time_engine([&] {
       sched::CompiledSchedule::lower_into(sch, lowered);
       checksum += net::simulate(lowered, rc, cp).seconds;
     });
     (void)checksum;
-  }
+    m.extra = {naive, compiled, rel};
+    return m;
+  };
 
-  const double naive_rate = static_cast<double>(cells.size()) / naive_total;
-  const double compiled_rate = static_cast<double>(cells.size()) / compiled_total;
+  const exp::SweepResult result = exp::run(plan);
+  if (parity_failed) return 1;
+
+  double naive_total = 0, compiled_total = 0, max_rel_err = 0;
+  for (const exp::Row& row : result.rows) {
+    naive_total += row.m.extra[0];
+    compiled_total += row.m.extra[1];
+    max_rel_err = std::max(max_rel_err, row.m.extra[2]);
+  }
+  const size_t cells = result.rows.size();
+  const double naive_rate = static_cast<double>(cells) / naive_total;
+  const double compiled_rate = static_cast<double>(cells) / compiled_total;
   const double speedup = compiled_rate / naive_rate;
   std::printf("naive:    %10.1f schedules/sec (%.2f ms per sweep pass)\n", naive_rate,
               1e3 * naive_total);
@@ -133,7 +151,7 @@ int main() {
                  "  \"speedup\": %.2f,\n"
                  "  \"parity_max_rel_err\": %.3g\n"
                  "}\n",
-                 cells.size(), naive_rate, compiled_rate, speedup, max_rel_err);
+                 cells, naive_rate, compiled_rate, speedup, max_rel_err);
     std::fclose(f);
     std::printf("wrote BENCH_sim.json\n");
   }

@@ -1,19 +1,28 @@
 // Table 2: the system models used throughout the evaluation.
+//
+// Plan: the system axis every other bench plan draws from -- declared once
+// as a SweepPlan and printed straight from its SystemSpecs (nothing is
+// measured here; the table *is* the plan's system axis).
 #include <cstdio>
 
+#include "exp/sweep.hpp"
 #include "net/profiles.hpp"
 
 using namespace bine;
 
 int main() {
+  exp::SweepPlan plan;
+  plan.name = "table2_systems";
+  for (const auto& profile : net::main_profiles())
+    plan.systems.push_back(exp::SystemSpec{profile});
+  plan.systems.push_back(exp::SystemSpec{net::fugaku_profile({8, 8, 8})});
+  plan.systems.push_back(exp::SystemSpec{net::multigpu_profile()});
+
   std::printf("=== Table 2: simulated system models ===\n");
   std::printf("%-10s %s\n", "System", "Model");
-  for (const auto& profile : net::main_profiles())
-    std::printf("%-10s %s\n", profile.name.c_str(), profile.description.c_str());
-  const auto fugaku = net::fugaku_profile({8, 8, 8});
-  std::printf("%-10s %s\n", fugaku.name.c_str(), fugaku.description.c_str());
-  const auto gpu = net::multigpu_profile();
-  std::printf("%-10s %s\n", gpu.name.c_str(), gpu.description.c_str());
+  for (const exp::SystemSpec& spec : plan.systems)
+    std::printf("%-10s %s\n", spec.profile.name.c_str(),
+                spec.profile.description.c_str());
   std::printf("\nPaper systems: LUMI (Dragonfly, Cray MPICH), Leonardo (Dragonfly+, "
               "Open MPI),\nMareNostrum 5 (2:1 fat tree, Open MPI), Fugaku (6D torus, "
               "Fujitsu MPI).\n");

@@ -1,10 +1,17 @@
 // Table 3: Bine vs binomial trees on LUMI (Dragonfly), 16-1024 nodes,
 // 32 B - 512 MiB vectors, all eight collectives.
-#include "bench_common.hpp"
+//
+// Plan: exp::paper::binomial_table (src/exp/paper_plans.cpp) -- the sweep
+// engine fans the (system, collective, p) cells out and batches the
+// bine/binomial candidates of each cell; this driver only formats the rows.
+#include "exp/paper_plans.hpp"
+#include "exp/report.hpp"
+#include "net/profiles.hpp"
 
 int main() {
-  bine::harness::Runner runner(bine::net::lumi_profile());
-  bine::bench::run_binomial_table(runner, {16, 64, 256, 1024},
-                                  bine::harness::paper_vector_sizes(false));
+  using namespace bine;
+  const exp::SweepResult result = exp::run(exp::paper::binomial_table(
+      net::lumi_profile(), {16, 64, 256, 1024}, harness::paper_vector_sizes(false)));
+  exp::print_binomial_table(result);
   return 0;
 }

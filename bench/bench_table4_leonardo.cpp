@@ -1,10 +1,17 @@
 // Table 4: Bine vs binomial trees on Leonardo (Dragonfly+), 16-2048 nodes.
-#include "bench_common.hpp"
+//
+// Plan: exp::paper::binomial_table with the Leonardo methodology encoded in
+// the node axis (counts beyond the user cap extend allreduce/allgather
+// only, Sec. 5.2.1); the sweep engine runs it, this driver formats it.
+#include "exp/paper_plans.hpp"
+#include "exp/report.hpp"
+#include "net/profiles.hpp"
 
 int main() {
-  bine::harness::Runner runner(bine::net::leonardo_profile());
-  bine::bench::run_binomial_table(runner, {16, 64, 256},
-                                  bine::harness::paper_vector_sizes(false),
-                                  /*allreduce/allgather only:*/ {1024, 2048});
+  using namespace bine;
+  const exp::SweepResult result = exp::run(exp::paper::binomial_table(
+      net::leonardo_profile(), {16, 64, 256}, harness::paper_vector_sizes(false),
+      /*allreduce/allgather only:*/ {1024, 2048}));
+  exp::print_binomial_table(result);
   return 0;
 }

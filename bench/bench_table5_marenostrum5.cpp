@@ -1,10 +1,16 @@
 // Table 5: Bine vs binomial trees on MareNostrum 5 (2:1 oversubscribed fat
 // tree), 4-64 nodes (the maximum allowed on the real system).
-#include "bench_common.hpp"
+//
+// Plan: exp::paper::binomial_table run through the sweep engine; this
+// driver only formats the result rows.
+#include "exp/paper_plans.hpp"
+#include "exp/report.hpp"
+#include "net/profiles.hpp"
 
 int main() {
-  bine::harness::Runner runner(bine::net::mn5_profile());
-  bine::bench::run_binomial_table(runner, {4, 8, 16, 32, 64},
-                                  bine::harness::paper_vector_sizes(false));
+  using namespace bine;
+  const exp::SweepResult result = exp::run(exp::paper::binomial_table(
+      net::mn5_profile(), {4, 8, 16, 32, 64}, harness::paper_vector_sizes(false)));
+  exp::print_binomial_table(result);
   return 0;
 }

@@ -1,17 +1,17 @@
 // Autotuner benchmark: (1) tuned dispatch vs the best single fixed algorithm
 // on a multi-system, multi-collective sweep -- the payoff of persisting the
 // sweep winners instead of throwing them away -- and (2) sharded vs serial
-// decision-table build, exercising the cross-system parallelism the table
-// benches never had (one work item per (system, collective, p) cell, all
-// sharing the process-wide schedule cache).
+// decision-table build, exercising the cross-system parallelism the sweep
+// engine's planner provides (one work item per (system, collective, p)
+// cell, all sharing the process-wide schedule cache).
 //
-// The dispatch comparison is evaluated on the tuning grid PLUS off-grid
-// midpoint sizes, so the tuned table is also judged between its own
-// crossover points. A "fixed" baseline commits to one algorithm per
-// collective across every system, node count and size -- the strongest
-// configuration a no-tuning deployment can pick -- and the best such
-// baseline is found exhaustively. Parity gate: at every grid size the tuned
-// selection must equal the exhaustive argmin over the same sweep data.
+// Plan: one Backend::tuned_dispatch SweepPlan per collective -- series are
+// {tuned, exhaustive argmin, one single series per fixed candidate} over
+// the 3-system x node-count x size grid, so the tuned/fixed/parity numbers
+// all come from the same engine rows. The dispatch comparison is evaluated
+// on the tuning grid PLUS off-grid midpoint sizes, so the tuned table is
+// also judged between its own crossover points. Parity gate: at every grid
+// size the tuned selection must equal the argmin series' winner.
 //
 // Emits BENCH_tune.json next to the other BENCH_* snapshots.
 #include <algorithm>
@@ -20,14 +20,12 @@
 #include <cstdio>
 #include <limits>
 #include <map>
-#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "coll/registry.hpp"
-#include "harness/runner.hpp"
-#include "harness/tuned_runner.hpp"
+#include "exp/sweep.hpp"
 #include "net/profiles.hpp"
 #include "tune/decision_table.hpp"
 #include "tune/tuner.hpp"
@@ -104,8 +102,10 @@ int main() {
               1e3 * serial_s, 1e3 * sharded_s, build_speedup, cores);
 
   // Determinism gate: sharded and serial builds must be byte-identical.
-  const tune::DecisionTable table = tune::Tuner(tuner_options(1)).build(profiles, kColls, kNodes);
-  const tune::DecisionTable table4 = tune::Tuner(tuner_options(4)).build(profiles, kColls, kNodes);
+  const tune::DecisionTable table =
+      tune::Tuner(tuner_options(1)).build(profiles, kColls, kNodes);
+  const tune::DecisionTable table4 =
+      tune::Tuner(tuner_options(4)).build(profiles, kColls, kNodes);
   if (table.dump() != table4.dump()) {
     std::fprintf(stderr, "FAIL: sharded build diverges from serial build\n");
     return 1;
@@ -113,46 +113,54 @@ int main() {
 
   // --- tuned dispatch vs best single fixed algorithm ---------------------
   const std::vector<i64> sizes = eval_sizes(opts.size_grid);
-  std::vector<std::unique_ptr<harness::Runner>> runners;
-  runners.reserve(profiles.size());
-  for (const auto& profile : profiles)
-    runners.push_back(std::make_unique<harness::Runner>(profile));
 
   bool select_parity = true;
   double tuned_total = 0;
-  std::map<std::string, double> fixed_totals;  // per-coll candidate -> total
   std::string fixed_report;
   double best_fixed_total = 0;
 
   for (size_t ci = 0; ci < kColls.size(); ++ci) {
     const Collective coll = kColls[ci];
-    // Fixed candidates must apply everywhere they are judged.
-    std::vector<const coll::AlgorithmEntry*> fixed;
-    for (const auto& entry : coll::algorithms_for(coll))
-      if (!entry.specialized && !entry.pow2_only) fixed.push_back(&entry);
+    // Fixed candidates must apply everywhere they are judged; the argmin
+    // series ranks every tunable candidate (the engine's pow2 gate skips
+    // the pow2-only ones exactly where Tuner::candidates would).
+    std::vector<std::string> fixed, tunable;
+    for (const auto& entry : coll::algorithms_for(coll)) {
+      if (entry.specialized) continue;
+      tunable.push_back(entry.name);
+      if (!entry.pow2_only) fixed.push_back(entry.name);
+    }
+
+    exp::SweepPlan plan;
+    plan.name = std::string("tuned_dispatch_") + to_string(coll);
+    for (const auto& profile : profiles)
+      plan.systems.push_back(exp::SystemSpec{profile});
+    plan.colls = {coll};
+    plan.series = {exp::Series::tuned(), exp::Series::best_of("argmin", tunable)};
+    for (const std::string& name : fixed)
+      plan.series.push_back(exp::Series::single(name));
+    plan.nodes.counts = kNodes;
+    plan.sizes = sizes;
+    plan.backend = exp::Backend::tuned_dispatch;
+    plan.table = &table;
+    const exp::SweepResult result = exp::run(plan);
 
     double tuned_coll = 0;
-    std::map<std::string, double> totals;
-    for (size_t pi = 0; pi < profiles.size(); ++pi) {
-      for (const i64 p : kNodes) {
-        for (const i64 size : sizes) {
-          const tune::Selection sel = tune::select(table, profiles[pi], coll, p, size);
-          tuned_coll += runners[pi]->run(coll, *sel.entry, p, size).seconds;
-          for (const coll::AlgorithmEntry* cand : fixed)
-            totals[cand->name] += runners[pi]->run(coll, *cand, p, size).seconds;
+    std::map<std::string, double> totals;  // per fixed candidate -> total
+    for (size_t pi = 0; pi < profiles.size(); ++pi)
+      for (size_t ni = 0; ni < kNodes.size(); ++ni)
+        for (size_t si = 0; si < sizes.size(); ++si) {
+          const exp::Metrics& tuned = result.at(pi, 0, ni, si, 0);
+          tuned_coll += tuned.seconds;
+          for (size_t k = 0; k < fixed.size(); ++k)
+            totals[fixed[k]] += result.at(pi, 0, ni, si, 2 + k).seconds;
           // Parity gate at grid sizes: tuned selection == exhaustive argmin.
-          if (std::binary_search(opts.size_grid.begin(), opts.size_grid.end(), size)) {
-            double best = std::numeric_limits<double>::infinity();
-            std::string best_name;
-            for (const coll::AlgorithmEntry* cand : tune::Tuner::candidates(coll, p)) {
-              const double s = runners[pi]->run(coll, *cand, p, size).seconds;
-              if (s < best) { best = s; best_name = cand->name; }
-            }
-            if (sel.entry->name != best_name) select_parity = false;
-          }
+          if (std::binary_search(opts.size_grid.begin(), opts.size_grid.end(),
+                                 sizes[si]) &&
+              tuned.algorithm != result.at(pi, 0, ni, si, 1).algorithm)
+            select_parity = false;
         }
-      }
-    }
+
     const auto best = std::min_element(
         totals.begin(), totals.end(),
         [](const auto& a, const auto& b) { return a.second < b.second; });

@@ -1,0 +1,73 @@
+#include "exp/report.hpp"
+
+#include <cstdio>
+
+#include "harness/tables.hpp"
+
+namespace bine::exp {
+
+void print_binomial_table(const SweepResult& result) {
+  harness::WinLoss::print_header("Comparison with binomial trees on " +
+                                 result.system_names.at(0) + " (simulated)");
+  for (size_t ci = 0; ci < result.colls.size(); ++ci) {
+    harness::WinLoss wl;
+    for (size_t ni = 0; ni < result.coll_nodes[ci].size(); ++ni)
+      for (size_t si = 0; si < result.sizes.size(); ++si) {
+        const Metrics& bine = result.at(0, ci, ni, si, 0);
+        const Metrics& binom = result.at(0, ci, ni, si, 1);
+        wl.add(bine.seconds, binom.seconds, bine.global_bytes, binom.global_bytes);
+      }
+    std::printf("%s\n", wl.row(to_string(result.colls[ci])).c_str());
+  }
+}
+
+void print_sota_heatmap(const SweepResult& result) {
+  std::vector<std::string> cols, rows;
+  for (const i64 n : result.coll_nodes.at(0)) cols.push_back(std::to_string(n));
+  for (const i64 s : result.sizes) rows.push_back(harness::size_label(s));
+
+  std::vector<std::vector<harness::HeatCell>> cells(
+      result.sizes.size(),
+      std::vector<harness::HeatCell>(result.coll_nodes[0].size()));
+  for (size_t si = 0; si < result.sizes.size(); ++si)
+    for (size_t ni = 0; ni < result.coll_nodes[0].size(); ++ni) {
+      const Metrics& bine = result.at(0, 0, ni, si, 0);
+      const Metrics& sota = result.at(0, 0, ni, si, 1);
+      harness::HeatCell& cell = cells[si][ni];
+      cell.bine_best = bine.seconds < sota.seconds;
+      cell.best_name = sota.algorithm;
+      cell.ratio = sota.seconds / bine.seconds;
+    }
+  harness::print_heatmap(std::string(to_string(result.colls.at(0))) +
+                             " vs state of the art on " + result.system_names.at(0) +
+                             " (rows: vector size, cols: nodes)",
+                         cols, rows, cells);
+}
+
+void print_sota_boxplots(const SweepResult& result) {
+  harness::BoxStats::print_header("Bine improvement over best non-Bine algorithm on " +
+                                      result.system_names.at(0) +
+                                      " (configurations where Bine wins)",
+                                  "gain");
+  for (size_t ci = 0; ci < result.colls.size(); ++ci) {
+    std::vector<double> gains;
+    i64 total = 0;
+    for (size_t ni = 0; ni < result.coll_nodes[ci].size(); ++ni)
+      for (size_t si = 0; si < result.sizes.size(); ++si) {
+        const Metrics& bine = result.at(0, ci, ni, si, 0);
+        const Metrics& sota = result.at(0, ci, ni, si, 1);
+        ++total;
+        if (bine.seconds < sota.seconds)
+          gains.push_back(100.0 * (sota.seconds / bine.seconds - 1.0));
+      }
+    const i64 nwins = static_cast<i64>(gains.size());
+    const harness::BoxStats stats = harness::BoxStats::of(std::move(gains));
+    char label[64];
+    std::snprintf(label, sizeof(label), "%s (%.0f%%)", to_string(result.colls[ci]),
+                  total ? 100.0 * static_cast<double>(nwins) / static_cast<double>(total)
+                        : 0.0);
+    std::printf("%s\n", stats.row(label).c_str());
+  }
+}
+
+}  // namespace bine::exp

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "exp/sweep.hpp"
+
+/// Result-table formatters: the paper's report shapes (win/loss tables,
+/// best-algorithm heatmaps, box-plot summaries) rendered from a SweepResult.
+/// These replace the private driver loops bench_common.hpp used to hold --
+/// the harness::tables row builders (WinLoss, BoxStats, print_heatmap) stay
+/// the building blocks; what moved here is the plan-aware aggregation.
+///
+/// Every formatter walks rows strictly in the result's canonical order, so
+/// the printed output is byte-identical regardless of the shard width the
+/// sweep ran with.
+namespace bine::exp {
+
+/// "Comparison with Binomial Trees" table (paper Tables 3, 4, 5). Expects a
+/// single-system result whose series are {best bine (contiguous), best
+/// binomial}: per collective, win fractions, geometric-mean/max gains and
+/// drops, and the global-traffic reduction.
+void print_binomial_table(const SweepResult& result);
+
+/// Best-algorithm heatmap for one collective (paper Figs. 9a, 10a). Expects
+/// a single-system, single-collective result with series {best bine, best
+/// sota}; rows are vector sizes, columns node counts.
+void print_sota_heatmap(const SweepResult& result);
+
+/// Box-plot summary of Bine's improvement over the best non-Bine algorithm,
+/// restricted to configurations where Bine wins (paper Figs. 9b, 10b,
+/// 11a/b). Expects a single-system result with series {best bine, best
+/// sota}.
+void print_sota_boxplots(const SweepResult& result);
+
+}  // namespace bine::exp

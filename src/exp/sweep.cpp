@@ -1,0 +1,571 @@
+#include "exp/sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "harness/parallel.hpp"
+#include "tune/json.hpp"
+
+namespace bine::exp {
+
+// --- plan vocabulary ---------------------------------------------------------
+
+Series Series::best_bine(bool contiguous_only, std::string label) {
+  Series s;
+  s.label = std::move(label);
+  s.pick = Pick::best;
+  s.family = Family::bine;
+  s.contiguous_only = contiguous_only;
+  return s;
+}
+
+Series Series::best_binomial(std::string label) {
+  Series s;
+  s.label = std::move(label);
+  s.pick = Pick::best;
+  s.family = Family::binomial;
+  return s;
+}
+
+Series Series::best_sota(std::string label) {
+  Series s;
+  s.label = std::move(label);
+  s.pick = Pick::best;
+  s.family = Family::sota;
+  return s;
+}
+
+Series Series::best_of(std::string label, std::vector<std::string> names) {
+  Series s;
+  s.label = std::move(label);
+  s.pick = Pick::best;
+  s.family = Family::list;
+  s.algorithms = std::move(names);
+  return s;
+}
+
+Series Series::single(std::string algorithm) {
+  Series s;
+  s.label = algorithm;
+  s.pick = Pick::single;
+  s.family = Family::list;
+  s.algorithms = {std::move(algorithm)};
+  return s;
+}
+
+Series Series::tuned(std::string label) {
+  Series s;
+  s.label = std::move(label);
+  s.pick = Pick::tuned;
+  return s;
+}
+
+std::vector<i64> NodeAxis::counts_for(Collective coll) const {
+  std::vector<i64> out = counts;
+  if (std::find(extra_colls.begin(), extra_colls.end(), coll) != extra_colls.end())
+    out.insert(out.end(), extra_counts.begin(), extra_counts.end());
+  return out;
+}
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::simulate: return "simulate";
+    case Backend::traffic: return "traffic";
+    case Backend::execute_verified: return "execute_verified";
+    case Backend::tuned_dispatch: return "tuned_dispatch";
+    case Backend::custom: return "custom";
+  }
+  return "?";
+}
+
+// --- plan validation + compilation -------------------------------------------
+
+namespace {
+
+void validate(const SweepPlan& plan) {
+  if (plan.backend == Backend::custom) {
+    if (!plan.metric)
+      throw std::invalid_argument("exp: Backend::custom requires plan.metric");
+    return;  // empty axes become placeholder slots
+  }
+  if (plan.systems.empty()) throw std::invalid_argument("exp: plan.systems is empty");
+  if (plan.colls.empty()) throw std::invalid_argument("exp: plan.colls is empty");
+  if (plan.series.empty()) throw std::invalid_argument("exp: plan.series is empty");
+  if (plan.nodes.counts.empty())
+    throw std::invalid_argument("exp: plan.nodes.counts is empty");
+  if (plan.sizes.empty()) throw std::invalid_argument("exp: plan.sizes is empty");
+  for (const Series& s : plan.series) {
+    if (s.pick == Series::Pick::tuned) {
+      if (plan.backend != Backend::tuned_dispatch)
+        throw std::invalid_argument(
+            "exp: tuned series require Backend::tuned_dispatch");
+      if (!plan.table)
+        throw std::invalid_argument("exp: tuned series require plan.table");
+    }
+    if (s.pick == Series::Pick::single &&
+        (s.family != Series::Family::list || s.algorithms.size() != 1))
+      throw std::invalid_argument(
+          "exp: single series need exactly one explicit algorithm");
+    if (s.family == Series::Family::list && s.pick == Series::Pick::best &&
+        s.algorithms.empty())
+      throw std::invalid_argument("exp: best-of series has no candidates");
+    if (plan.backend == Backend::execute_verified && s.pick != Series::Pick::single)
+      throw std::invalid_argument(
+          "exp: Backend::execute_verified supports single-algorithm series only");
+  }
+}
+
+/// Effective axes: for Backend::custom, an empty axis collapses to one
+/// placeholder slot the metric interprets.
+struct Axes {
+  size_t num_systems = 1;
+  std::vector<Collective> colls;          ///< placeholder entry when plan has none
+  bool placeholder_colls = false;
+  std::vector<std::vector<i64>> coll_nodes;
+  size_t num_series = 1;
+  std::vector<i64> sizes;
+  [[nodiscard]] size_t block_rows() const { return sizes.size() * num_series; }
+};
+
+Axes effective_axes(const SweepPlan& plan) {
+  // Only Backend::custom collapses empty axes to placeholder slots; for the
+  // built-in backends an empty axis means zero cells (run() rejects it, and
+  // enumerate_cells callers like tune::Tuner get the empty enumeration).
+  const bool ph = plan.backend == Backend::custom;
+  Axes ax;
+  ax.num_systems = plan.systems.size();
+  if (plan.systems.empty() && ph) ax.num_systems = 1;
+  if (plan.colls.empty()) {
+    if (ph) {
+      ax.colls = {Collective{}};
+      ax.placeholder_colls = true;
+    }
+  } else {
+    ax.colls = plan.colls;
+  }
+  for (const Collective coll : ax.colls) {
+    std::vector<i64> counts = plan.nodes.counts_for(coll);
+    if (counts.empty() && ph) counts = {0};
+    ax.coll_nodes.push_back(std::move(counts));
+  }
+  ax.num_series = plan.series.size();
+  if (plan.series.empty() && ph) ax.num_series = 1;
+  ax.sizes = plan.sizes;
+  if (plan.sizes.empty() && ph) ax.sizes = {0};
+  return ax;
+}
+
+/// One deduplicated work item plus every (row-block offset) it answers: the
+/// same (system, coll, p) cell can appear more than once (duplicate node
+/// counts, repeated collectives) but is measured exactly once.
+struct Item {
+  CellRef cell;
+  std::vector<size_t> row_begins;
+};
+
+std::vector<Item> compile_items(const Axes& ax) {
+  std::vector<Item> items;
+  std::map<std::tuple<size_t, int, i64>, size_t> index;
+  size_t row = 0;
+  for (size_t sys = 0; sys < ax.num_systems; ++sys) {
+    for (size_t ci = 0; ci < ax.colls.size(); ++ci) {
+      for (const i64 p : ax.coll_nodes[ci]) {
+        const auto key = std::make_tuple(sys, static_cast<int>(ax.colls[ci]), p);
+        auto [it, inserted] = index.emplace(key, items.size());
+        if (inserted) items.push_back({CellRef{sys, ax.colls[ci], p}, {}});
+        items[it->second].row_begins.push_back(row);
+        row += ax.block_rows();
+      }
+    }
+  }
+  return items;
+}
+
+/// Candidate algorithm names of one series at one cell, in selection order.
+std::vector<std::string> series_names(const Series& s, harness::Runner* runner,
+                                      Collective coll) {
+  switch (s.family) {
+    case Series::Family::list: return s.algorithms;
+    case Series::Family::bine: return runner->bine_names(coll, s.contiguous_only);
+    case Series::Family::binomial: return runner->binomial_names(coll);
+    case Series::Family::sota: return runner->sota_names(coll);
+  }
+  throw std::logic_error("unknown series family");
+}
+
+Metrics from_run(const std::string& name, const harness::RunResult& r) {
+  Metrics m;
+  m.algorithm = name;
+  m.seconds = r.seconds;
+  m.global_bytes = r.global_bytes;
+  m.total_bytes = r.total_bytes;
+  m.messages = r.messages;
+  m.steps = r.steps;
+  return m;
+}
+
+/// Measure one (system, coll, p) cell: every size x series block entry, the
+/// union of candidate algorithms evaluated exactly once per size.
+/// `exec_threads` is the resolved executor fan-out for verified cells (the
+/// caller accounts for the sweep's own shard width -- see run()).
+void measure_cell(const SweepPlan& plan, const Axes& ax, const Item& item,
+                  harness::Runner* runner, i64 exec_threads,
+                  std::vector<Metrics>& block) {
+  const CellRef& cell = item.cell;
+  block.resize(ax.block_rows());
+
+  if (plan.backend == Backend::custom) {
+    for (size_t si = 0; si < ax.sizes.size(); ++si)
+      for (size_t k = 0; k < ax.num_series; ++k) {
+        CellCtx ctx;
+        ctx.plan = &plan;
+        ctx.runner = runner;
+        ctx.system = cell.system;
+        ctx.coll = cell.coll;
+        ctx.nodes = cell.p;
+        ctx.size_bytes = ax.sizes[si];
+        ctx.series = k;
+        block[si * ax.num_series + k] = plan.metric(ctx);
+      }
+    return;
+  }
+
+  // Resolve every series' candidates once per cell, then build the union in
+  // first-use order (the PR 2 sweep batching: the bine/binomial/sota rows of
+  // one cell overlap heavily, and each union member is measured once).
+  std::vector<std::string> names;
+  std::vector<std::vector<size_t>> cands(plan.series.size());
+  for (size_t k = 0; k < plan.series.size(); ++k) {
+    if (plan.series[k].pick == Series::Pick::tuned) continue;
+    for (std::string& name : series_names(plan.series[k], runner, cell.coll)) {
+      auto pos = std::find(names.begin(), names.end(), name);
+      if (pos == names.end()) {
+        names.push_back(std::move(name));
+        pos = names.end() - 1;
+      }
+      cands[k].push_back(static_cast<size_t>(pos - names.begin()));
+    }
+  }
+
+  const bool verified = plan.backend == Backend::execute_verified;
+  std::vector<std::optional<harness::RunResult>> eval(names.size());
+  std::vector<std::optional<harness::VerifiedRun>> veval(verified ? names.size() : 0);
+
+  for (size_t si = 0; si < ax.sizes.size(); ++si) {
+    const i64 size = ax.sizes[si];
+    for (size_t n = 0; n < names.size(); ++n) {
+      eval[n].reset();
+      if (verified) veval[n].reset();
+      const auto& entry = coll::find_algorithm(cell.coll, names[n]);
+      if (entry.pow2_only && !is_pow2(cell.p)) continue;
+      if (verified)
+        veval[n] = runner->run_verified(cell.coll, entry, cell.p, size, exec_threads,
+                                        plan.elem, plan.op);
+      else
+        eval[n] = runner->run(cell.coll, entry, cell.p, size);
+    }
+
+    for (size_t k = 0; k < plan.series.size(); ++k) {
+      const Series& s = plan.series[k];
+      Metrics m;
+      switch (s.pick) {
+        case Series::Pick::best: {
+          // The exact selection (and tie-break) Runner::best_of performs:
+          // strict <, candidates in the series' own order.
+          double best = std::numeric_limits<double>::infinity();
+          size_t best_n = names.size();
+          for (const size_t n : cands[k])
+            if (eval[n] && eval[n]->seconds < best) {
+              best = eval[n]->seconds;
+              best_n = n;
+            }
+          if (best_n == names.size())
+            throw std::runtime_error("no applicable algorithm");
+          m = from_run(names[best_n], *eval[best_n]);
+          break;
+        }
+        case Series::Pick::single: {
+          const size_t n = cands[k].front();
+          m.algorithm = names[n];
+          if (verified) {
+            if (!veval[n]) {
+              m.skipped = true;
+            } else {
+              const harness::VerifiedRun& v = *veval[n];
+              m.ok = v.ok;
+              m.error = v.error;
+              m.messages = v.messages;
+              m.wire_bytes = v.wire_bytes;
+              m.digest = v.digest;
+              m.used_cache = v.used_cache;
+            }
+          } else if (!eval[n]) {
+            m.skipped = true;
+          } else {
+            m = from_run(names[n], *eval[n]);
+          }
+          break;
+        }
+        case Series::Pick::tuned: {
+          const tune::Selection sel =
+              tune::select(*plan.table, plan.systems[cell.system].profile, cell.coll,
+                           cell.p, size, plan.miss_policy);
+          // Reuse the union evaluation when another series already measured
+          // the selected algorithm at this size (bench_tuner's plans pair
+          // tuned with an exhaustive argmin series, so this is the common
+          // case); fall back to a direct run on a miss.
+          const auto pos = std::find(names.begin(), names.end(), sel.entry->name);
+          if (pos != names.end() && eval[static_cast<size_t>(pos - names.begin())]) {
+            m = from_run(sel.entry->name,
+                         *eval[static_cast<size_t>(pos - names.begin())]);
+          } else {
+            m = from_run(sel.entry->name,
+                         runner->run(cell.coll, *sel.entry, cell.p, size));
+          }
+          m.from_table = sel.from_table;
+          break;
+        }
+      }
+      block[si * ax.num_series + k] = std::move(m);
+    }
+  }
+}
+
+}  // namespace
+
+// --- engine ------------------------------------------------------------------
+
+std::vector<std::unique_ptr<harness::Runner>> make_runners(const SweepPlan& plan) {
+  std::vector<std::unique_ptr<harness::Runner>> runners;
+  runners.reserve(plan.systems.size());
+  for (const SystemSpec& spec : plan.systems) {
+    auto r = std::make_unique<harness::Runner>(spec.profile, spec.spread_placement,
+                                               spec.seed);
+    r->torus_dims = spec.torus_dims;
+    if (spec.private_cache) r->use_private_schedule_cache();
+    if (spec.schedule_cache) r->set_schedule_cache(*spec.schedule_cache);
+    runners.push_back(std::move(r));
+  }
+  return runners;
+}
+
+std::vector<CellRef> enumerate_cells(const SweepPlan& plan) {
+  const Axes ax = effective_axes(plan);
+  std::vector<CellRef> cells;
+  for (const Item& item : compile_items(ax)) cells.push_back(item.cell);
+  return cells;
+}
+
+void run_cells(const SweepPlan& plan,
+               const std::function<void(size_t, const CellRef&, harness::Runner&)>& fn) {
+  if (plan.systems.empty())
+    throw std::invalid_argument(
+        "exp: run_cells requires at least one system (the callback binds a Runner)");
+  const std::vector<CellRef> cells = enumerate_cells(plan);
+  const auto runners = make_runners(plan);
+  // Warm the per-node machine instances serially so workers only compete for
+  // cells, not for building the same topology/route table under a lock.
+  for (const CellRef& cell : cells) runners[cell.system]->prewarm(cell.p);
+  harness::parallel_for(
+      static_cast<i64>(cells.size()),
+      [&](i64 i) {
+        const CellRef& cell = cells[static_cast<size_t>(i)];
+        fn(static_cast<size_t>(i), cell, *runners[cell.system]);
+      },
+      plan.threads);
+}
+
+SweepResult run(const SweepPlan& plan) {
+  validate(plan);
+  const Axes ax = effective_axes(plan);
+  const std::vector<Item> items = compile_items(ax);
+  const auto runners = make_runners(plan);
+  if (!runners.empty())
+    for (const Item& item : items) runners[item.cell.system]->prewarm(item.cell.p);
+
+  // Executor threads for verified cells: when the sweep itself fans cells
+  // out across more than one worker, each cell's executor stays sequential
+  // (nesting thread pools oversubscribes); a sweep that is effectively
+  // serial -- one worker, or a single cell -- passes the executor's
+  // size-gated auto default (exec_threads == 0) through.
+  i64 exec_threads = plan.exec_threads;
+  if (exec_threads == 0) {
+    const i64 shard = plan.threads <= 0 ? harness::default_thread_count() : plan.threads;
+    if (std::min<i64>(shard, static_cast<i64>(items.size())) > 1) exec_threads = 1;
+  }
+
+  // One work item per deduplicated (system, coll, p) cell -- the cross-system
+  // fan-out axis -- each writing only its own block.
+  std::vector<std::vector<Metrics>> blocks(items.size());
+  harness::parallel_for(
+      static_cast<i64>(items.size()),
+      [&](i64 i) {
+        const Item& item = items[static_cast<size_t>(i)];
+        harness::Runner* runner =
+            runners.empty() ? nullptr : runners[item.cell.system].get();
+        measure_cell(plan, ax, item, runner, exec_threads,
+                     blocks[static_cast<size_t>(i)]);
+      },
+      plan.threads);
+
+  // Assemble the canonical row table (duplicated cells share one block).
+  SweepResult res;
+  res.plan_name = plan.name;
+  res.backend = plan.backend;
+  if (plan.systems.empty()) {
+    res.system_names = {""};
+  } else {
+    for (const SystemSpec& spec : plan.systems)
+      res.system_names.push_back(spec.profile.name);
+  }
+  res.colls = ax.colls;
+  if (ax.placeholder_colls) res.colls.clear();
+  if (plan.series.empty()) {
+    res.series_labels = {""};
+  } else {
+    for (const Series& s : plan.series) res.series_labels.push_back(s.label);
+  }
+  res.coll_nodes = ax.coll_nodes;
+  res.sizes = ax.sizes;
+
+  size_t total_rows = 0;
+  for (const Item& item : items) total_rows += item.row_begins.size() * ax.block_rows();
+  res.rows.resize(total_rows);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const Item& item = items[i];
+    for (const size_t begin : item.row_begins)
+      for (size_t si = 0; si < ax.sizes.size(); ++si)
+        for (size_t k = 0; k < ax.num_series; ++k) {
+          Row& row = res.rows[begin + si * ax.num_series + k];
+          row.system = item.cell.system;
+          row.coll = item.cell.coll;
+          row.nodes = item.cell.p;
+          row.size_bytes = ax.sizes[si];
+          row.series = k;
+          row.m = blocks[i][si * ax.num_series + k];
+        }
+  }
+  return res;
+}
+
+// --- result table ------------------------------------------------------------
+
+size_t SweepResult::row_index(size_t system, size_t coll_idx, size_t node_idx,
+                              size_t size_idx, size_t series_idx) const {
+  const size_t S = sizes.size();
+  const size_t K = series_labels.size();
+  size_t per_system = 0;
+  for (const auto& counts : coll_nodes) per_system += counts.size() * S * K;
+  size_t idx = system * per_system;
+  for (size_t c = 0; c < coll_idx; ++c) idx += coll_nodes[c].size() * S * K;
+  idx += (node_idx * S + size_idx) * K + series_idx;
+  return idx;
+}
+
+const Metrics& SweepResult::at(size_t system, size_t coll_idx, size_t node_idx,
+                               size_t size_idx, size_t series_idx) const {
+  return rows[row_index(system, coll_idx, node_idx, size_idx, series_idx)].m;
+}
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_i64(std::string& out, i64 v) { out += std::to_string(v); }
+
+}  // namespace
+
+std::string SweepResult::to_json() const {
+  std::string out;
+  out.reserve(256 + rows.size() * 160);
+  out += "{\n  \"plan\": \"" + tune::json::escape(plan_name) + "\",\n";
+  out += "  \"backend\": \"" + std::string(to_string(backend)) + "\",\n";
+  out += "  \"systems\": [";
+  for (size_t i = 0; i < system_names.size(); ++i)
+    out += std::string(i ? ", " : "") + "\"" + tune::json::escape(system_names[i]) + "\"";
+  out += "],\n  \"series\": [";
+  for (size_t i = 0; i < series_labels.size(); ++i)
+    out += std::string(i ? ", " : "") + "\"" + tune::json::escape(series_labels[i]) + "\"";
+  out += "],\n  \"sizes\": [";
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    if (i) out += ", ";
+    append_i64(out, sizes[i]);
+  }
+  out += "],\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out += "    {\"system\": \"" + tune::json::escape(system_names[r.system]) + "\"";
+    out += ", \"coll\": \"";
+    out += colls.empty() ? "" : to_string(r.coll);
+    out += "\"";
+    out += ", \"series\": \"" + tune::json::escape(series_labels[r.series]) + "\"";
+    out += ", \"nodes\": ";
+    append_i64(out, r.nodes);
+    out += ", \"size_bytes\": ";
+    append_i64(out, r.size_bytes);
+    if (r.m.skipped) {
+      out += ", \"skipped\": true";
+    } else if (backend == Backend::execute_verified) {
+      out += ", \"algorithm\": \"" + tune::json::escape(r.m.algorithm) + "\"";
+      out += std::string(", \"ok\": ") + (r.m.ok ? "true" : "false");
+      if (!r.m.ok) out += ", \"error\": \"" + tune::json::escape(r.m.error) + "\"";
+      out += ", \"messages\": ";
+      append_i64(out, r.m.messages);
+      out += ", \"wire_bytes\": ";
+      append_i64(out, r.m.wire_bytes);
+      char hex[24];
+      std::snprintf(hex, sizeof(hex), "0x%016llx",
+                    static_cast<unsigned long long>(r.m.digest));
+      out += ", \"digest\": \"" + std::string(hex) + "\"";
+      out += std::string(", \"used_cache\": ") + (r.m.used_cache ? "true" : "false");
+    } else if (backend == Backend::custom) {
+      if (!r.m.algorithm.empty())
+        out += ", \"algorithm\": \"" + tune::json::escape(r.m.algorithm) + "\"";
+      out += ", \"value\": ";
+      append_double(out, r.m.value);
+      if (!r.m.extra.empty()) {
+        out += ", \"extra\": [";
+        for (size_t e = 0; e < r.m.extra.size(); ++e) {
+          if (e) out += ", ";
+          append_double(out, r.m.extra[e]);
+        }
+        out += "]";
+      }
+    } else {
+      out += ", \"algorithm\": \"" + tune::json::escape(r.m.algorithm) + "\"";
+      out += ", \"seconds\": ";
+      append_double(out, r.m.seconds);
+      out += ", \"global_bytes\": ";
+      append_i64(out, r.m.global_bytes);
+      out += ", \"total_bytes\": ";
+      append_i64(out, r.m.total_bytes);
+      out += ", \"messages\": ";
+      append_i64(out, r.m.messages);
+      out += ", \"steps\": ";
+      append_i64(out, static_cast<i64>(r.m.steps));
+      if (backend == Backend::tuned_dispatch)
+        out += std::string(", \"from_table\": ") + (r.m.from_table ? "true" : "false");
+    }
+    out += i + 1 < rows.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void SweepResult::save_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("exp: cannot write " + path);
+  const std::string text = to_json();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace bine::exp

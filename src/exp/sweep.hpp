@@ -1,0 +1,236 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "tune/decision_table.hpp"
+
+/// The declarative sweep engine: the single execution substrate behind every
+/// table/figure/micro bench and the tuner (the separation of experiment
+/// *plan* from measurement *backend* that classic collective-tuning systems
+/// and cross-system benchmark harnesses converge on).
+///
+/// A SweepPlan names the paper's evaluation axes -- systems x collectives x
+/// series (algorithm selectors, including `tuned`) x node counts x message
+/// sizes -- and a metric backend. The planner compiles the plan into
+/// deduplicated work items, one per (system, collective, p) cell: the same
+/// shard unit tune::Tuner keys by, so cells of different systems run
+/// concurrently over harness::parallel_for with every Runner sharing the
+/// process-wide schedule cache. Inside a cell, the union of all series'
+/// candidate algorithms is evaluated exactly once per message size (the
+/// PR 2 sweep batching), and every series is answered from those shared
+/// evaluations.
+///
+/// Every cell is a pure function of its plan coordinates, so the resulting
+/// SweepResult table -- rows in canonical system > collective > nodes >
+/// size > series order -- is byte-identical for any shard width, with or
+/// without the schedule cache. The golden parity suite asserts the ported
+/// bench drivers emit bit-identical metrics to the pre-refactor loops.
+namespace bine::exp {
+
+using sched::Collective;
+
+/// One system under evaluation: the machine model plus the Runner knobs the
+/// old drivers set by hand (fragmented vs identity placement, torus shape,
+/// schedule-cache mode).
+struct SystemSpec {
+  SystemSpec() = default;
+  explicit SystemSpec(net::SystemProfile p) : profile(std::move(p)) {}
+
+  net::SystemProfile profile;
+  bool spread_placement = true;  ///< synthetic fragmented scheduler (Sec. 2.2)
+  u64 seed = 42;
+  std::vector<i64> torus_dims;   ///< Runner::torus_dims (Appendix D generators)
+  /// Schedule-cache override; unset = the Runner default (BINE_SCHED_CACHE).
+  std::optional<bool> schedule_cache;
+  /// Detach from the process-wide cache (cold-start benchmarking).
+  bool private_cache = false;
+};
+
+/// One output series per cell: which algorithm(s) it evaluates and how the
+/// row's winner is picked. The family selectors mirror the paper's framing
+/// (best Bine variant / binomial-family baseline / best non-Bine algorithm);
+/// explicit lists cover the specialized drivers; `tuned` dispatches through
+/// a tune::DecisionTable.
+struct Series {
+  enum class Pick {
+    best,    ///< min simulated seconds over the candidates (strict <, list order)
+    single,  ///< exactly one algorithm; skipped when inapplicable at p
+    tuned,   ///< tune::select() through the plan's decision table
+  };
+  enum class Family {
+    list,      ///< the explicit `algorithms` vector
+    bine,      ///< Runner::bine_names (honours contiguous_only)
+    binomial,  ///< Runner::binomial_names
+    sota,      ///< Runner::sota_names (all non-Bine)
+  };
+  std::string label;
+  Pick pick = Pick::best;
+  Family family = Family::list;
+  bool contiguous_only = false;         ///< Family::bine only
+  std::vector<std::string> algorithms;  ///< Family::list candidates
+
+  [[nodiscard]] static Series best_bine(bool contiguous_only, std::string label = "bine");
+  [[nodiscard]] static Series best_binomial(std::string label = "binomial");
+  [[nodiscard]] static Series best_sota(std::string label = "sota");
+  [[nodiscard]] static Series best_of(std::string label, std::vector<std::string> names);
+  [[nodiscard]] static Series single(std::string algorithm);
+  [[nodiscard]] static Series tuned(std::string label = "tuned");
+};
+
+/// Node-count axis. `extra_counts` extends the base list for the collectives
+/// in `extra_colls` only -- the paper's Leonardo methodology, where node
+/// counts beyond the user cap were measured for allreduce/allgather alone.
+struct NodeAxis {
+  std::vector<i64> counts;
+  std::vector<i64> extra_counts;
+  std::vector<Collective> extra_colls;
+  [[nodiscard]] std::vector<i64> counts_for(Collective coll) const;
+};
+
+/// Metric backend a plan's cells are measured under.
+enum class Backend {
+  simulate,          ///< compiled simulator (Runner::run): seconds + traffic
+  traffic,           ///< traffic accounting only (same engine; semantic marker)
+  execute_verified,  ///< compiled executor over real buffers + postcondition verify
+  tuned_dispatch,    ///< tune::select() per cell, winner simulated
+  custom,            ///< plan.metric() -- pluggable backend for the oddball axes
+};
+[[nodiscard]] const char* to_string(Backend b);
+
+/// One row's measurements. Which fields are meaningful depends on the
+/// backend; `skipped` marks a single-algorithm series whose algorithm
+/// rejects the cell's rank count (e.g. pow2-only strategies at non-pow2 p).
+struct Metrics {
+  std::string algorithm;  ///< winning / selected / evaluated algorithm
+  double seconds = 0;
+  i64 global_bytes = 0;
+  i64 total_bytes = 0;
+  i64 messages = 0;
+  size_t steps = 0;
+  bool skipped = false;
+  // Backend::execute_verified
+  bool ok = false;
+  std::string error;
+  i64 wire_bytes = 0;
+  u64 digest = 0;
+  bool used_cache = false;
+  // Backend::tuned_dispatch
+  bool from_table = false;
+  // Backend::custom
+  double value = 0;
+  std::vector<double> extra;
+};
+
+struct Row {
+  size_t system = 0;
+  Collective coll{};
+  i64 nodes = 0;
+  i64 size_bytes = 0;
+  size_t series = 0;
+  Metrics m;
+};
+
+struct SweepPlan;
+
+/// Context handed to a Backend::custom metric: the plan coordinates plus the
+/// cell's Runner (nullptr when the plan declares no systems -- pure-math
+/// sweeps like the Eq. 2 distance-bound table).
+struct CellCtx {
+  const SweepPlan* plan = nullptr;
+  harness::Runner* runner = nullptr;
+  size_t system = 0;
+  Collective coll{};
+  i64 nodes = 0;
+  i64 size_bytes = 0;
+  size_t series = 0;
+};
+
+struct SweepPlan {
+  std::string name;
+  std::vector<SystemSpec> systems;
+  std::vector<Collective> colls;
+  std::vector<Series> series;
+  NodeAxis nodes;
+  std::vector<i64> sizes;
+  Backend backend = Backend::simulate;
+
+  /// Backend::custom measurement. For custom plans, empty systems / colls /
+  /// series / nodes / sizes axes are each treated as a single placeholder
+  /// slot (the metric interprets the coordinates); the built-in backends
+  /// require every axis to be populated.
+  std::function<Metrics(const CellCtx&)> metric;
+
+  // Backend::execute_verified knobs.
+  runtime::ElemType elem = runtime::ElemType::u32;
+  runtime::ReduceOp op = runtime::ReduceOp::sum;
+  i64 exec_threads = 0;  ///< 0 = the executor's size-gated auto default
+
+  // Backend::tuned_dispatch knobs.
+  const tune::DecisionTable* table = nullptr;
+  tune::MissPolicy miss_policy = tune::MissPolicy::heuristic_default;
+
+  i64 threads = 0;  ///< shard width; <= 0 = harness::default_thread_count()
+};
+
+/// The deterministic, stably-ordered result table: rows in canonical
+/// system > collective > nodes > size > series order, plus the axis labels
+/// the formatters print from.
+struct SweepResult {
+  std::string plan_name;
+  Backend backend = Backend::simulate;
+  std::vector<std::string> system_names;
+  std::vector<Collective> colls;
+  std::vector<std::string> series_labels;
+  std::vector<std::vector<i64>> coll_nodes;  ///< per collective (NodeAxis applied)
+  std::vector<i64> sizes;
+  std::vector<Row> rows;
+
+  /// Index of a row by axis position (coll_nodes[coll_idx][node_idx]).
+  [[nodiscard]] size_t row_index(size_t system, size_t coll_idx, size_t node_idx,
+                                 size_t size_idx, size_t series_idx) const;
+  [[nodiscard]] const Metrics& at(size_t system, size_t coll_idx, size_t node_idx,
+                                  size_t size_idx, size_t series_idx) const;
+
+  /// Canonical JSON emission (fixed field order, %.17g doubles): equal
+  /// results serialize byte-identically for any shard width.
+  [[nodiscard]] std::string to_json() const;
+  void save_json(const std::string& path) const;
+};
+
+/// Compile the plan, shard its work items, measure every cell. Throws
+/// std::invalid_argument on a malformed plan (empty axis outside
+/// Backend::custom, tuned series without a table, best-series with no
+/// applicable candidate is a std::runtime_error at run time).
+[[nodiscard]] SweepResult run(const SweepPlan& plan);
+
+/// One deduplicated work item: the (system, collective, p) cell -- the unit
+/// the planner shards and the unit tune::Tuner keys decision tables by.
+struct CellRef {
+  size_t system = 0;
+  Collective coll{};
+  i64 p = 0;
+};
+
+/// The plan's deduplicated cells in first-occurrence (system > collective >
+/// nodes) order. Exposed so other engines (tune::Tuner) enumerate and shard
+/// exactly like run() does.
+[[nodiscard]] std::vector<CellRef> enumerate_cells(const SweepPlan& plan);
+
+/// One Runner per SystemSpec, knobs applied, in axis order. All share the
+/// process-wide schedule cache unless a spec opts out.
+[[nodiscard]] std::vector<std::unique_ptr<harness::Runner>> make_runners(
+    const SweepPlan& plan);
+
+/// Fan `fn` out over the plan's deduplicated cells with the planner's
+/// sharding (one work item per cell, index-addressed, any thread count).
+/// `fn(cell_index, cell, runner)` must write results only to its own index.
+void run_cells(const SweepPlan& plan,
+               const std::function<void(size_t, const CellRef&, harness::Runner&)>& fn);
+
+}  // namespace bine::exp

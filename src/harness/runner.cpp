@@ -103,6 +103,7 @@ RunResult Runner::simulate_lowered(const sched::CompiledSchedule& lowered,
   out.seconds = sim.seconds;
   out.global_bytes = sim.traffic.global_bytes;
   out.total_bytes = sim.traffic.total();
+  out.messages = sim.traffic.messages;
   out.steps = sim.steps;
   return out;
 }
@@ -249,6 +250,13 @@ VerifiedRun Runner::run_verified(Collective coll, const coll::AlgorithmEntry& al
 
 std::vector<VerifiedRun> Runner::sweep_verified(const std::vector<VerifiedQuery>& queries,
                                                 i64 threads, i64 exec_threads) {
+  // Cells already fan out across the sweep workers; letting every worker's
+  // executor also auto-thread (exec_threads == 0 at >= 1 MiB vectors) would
+  // nest thread pools and oversubscribe. Only an effectively serial sweep
+  // (one worker, or a single query) passes the auto default through.
+  i64 workers = threads <= 0 ? default_thread_count() : threads;
+  workers = std::min<i64>(workers, static_cast<i64>(queries.size()));
+  if (exec_threads == 0 && workers > 1) exec_threads = 1;
   std::vector<VerifiedRun> results(queries.size());
   parallel_for(
       static_cast<i64>(queries.size()),

@@ -33,6 +33,7 @@ struct RunResult {
   double seconds = 0;
   i64 global_bytes = 0;
   i64 total_bytes = 0;
+  i64 messages = 0;
   size_t steps = 0;
 };
 
@@ -116,15 +117,16 @@ class Runner {
 
   /// Execute one cell over deterministic synthetic inputs with the compiled
   /// executor and verify the collective's postcondition. `threads` drives the
-  /// executor's phase fan-out (<= 1 sequential). Never throws on semantic
-  /// violations -- they come back as a not-ok VerifiedRun.
+  /// executor's phase fan-out (0 = the executor's size-gated auto default,
+  /// 1 sequential). Never throws on semantic violations -- they come back as
+  /// a not-ok VerifiedRun.
   /// `elem`/`op` choose the element type and reduction operator.
   /// Floating-point inputs are small exact integers, so f32/f64 sum/min/max
   /// are order-independent and bit-deterministic; float x prod has no such
   /// domain and comes back not-ok with an actionable error.
   [[nodiscard]] VerifiedRun run_verified(sched::Collective coll,
                                          const coll::AlgorithmEntry& algo, i64 nodes,
-                                         i64 size_bytes, i64 threads = 1,
+                                         i64 size_bytes, i64 threads = 0,
                                          runtime::ElemType elem = runtime::ElemType::u32,
                                          runtime::ReduceOp op = runtime::ReduceOp::sum);
 
@@ -134,7 +136,7 @@ class Runner {
   /// byte-identical -- digests included -- for any worker count.
   [[nodiscard]] std::vector<VerifiedRun> sweep_verified(
       const std::vector<VerifiedQuery>& queries, i64 threads = 0,
-      i64 exec_threads = 1);
+      i64 exec_threads = 0);
 
   /// Toggle the size-independent schedule cache (default: on, unless the
   /// BINE_SCHED_CACHE environment variable is set to 0). The cached and
@@ -151,6 +153,11 @@ class Runner {
 
   /// Torus shape handed to the Appendix D generators (empty = near-cubic).
   std::vector<i64> torus_dims;
+
+  /// Build (or touch) the machine instance for `nodes` now. The sweep engine
+  /// warms every cell's topology/route table serially before fanning work
+  /// out, so workers only compete for cells, never for the build lock.
+  void prewarm(i64 nodes) { (void)sized_for(nodes); }
 
   /// Best (min simulated time) over a set of algorithm names; returns the
   /// winning name alongside. Skips algorithms that reject the rank count.

@@ -35,7 +35,7 @@ class TunedRunner {
   /// Tuned verified execution: select + the Runner::exec_plan/run_verified
   /// path (compiled executor over real buffers, postcondition verify).
   [[nodiscard]] VerifiedRun run_verified(sched::Collective coll, i64 nodes, i64 bytes,
-                                         i64 threads = 1,
+                                         i64 threads = 0,
                                          runtime::ElemType elem = runtime::ElemType::u32,
                                          runtime::ReduceOp op = runtime::ReduceOp::sum);
 

@@ -35,6 +35,21 @@
 /// so the output is byte-identical for any thread count.
 namespace bine::runtime {
 
+/// Vector size (bytes) below which the executor's auto thread default stays
+/// sequential: parallel_for spawns and joins real threads per phase, which
+/// profiling shows only pays off beyond ~1 MiB vectors (see the threaded
+/// crossover recorded in BENCH_exec.json; the ROADMAP's "profile and gate a
+/// threads>1 default" item).
+inline constexpr i64 kExecAutoThreadBytes = i64{1} << 20;
+
+/// The executor's thread count for `threads <= 0` (auto): the harness
+/// default worker count for vectors at or beyond kExecAutoThreadBytes,
+/// sequential below it. Results are bit-identical either way -- the gate is
+/// purely a performance decision.
+[[nodiscard]] inline i64 auto_exec_threads(i64 vector_bytes) {
+  return vector_bytes >= kExecAutoThreadBytes ? harness::default_thread_count() : 1;
+}
+
 template <typename T>
 struct CompiledExecResult {
   const ExecPlan* plan = nullptr;     ///< borrowed; must outlive the result
@@ -69,14 +84,18 @@ class CompiledExecutor {
   /// temporary would dangle the moment the full expression ends.
   explicit CompiledExecutor(ExecPlan&&) = delete;
 
-  /// Run the plan over the given inputs. `threads <= 1` is fully sequential;
-  /// otherwise phases fan out over harness::parallel_for. Throws
-  /// std::runtime_error on semantic violations, like the reference.
+  /// Run the plan over the given inputs. `threads <= 0` resolves through the
+  /// size-gated auto default (sequential below kExecAutoThreadBytes);
+  /// `threads == 1` is fully sequential; otherwise phases fan out over
+  /// harness::parallel_for. Throws std::runtime_error on semantic
+  /// violations, like the reference.
   template <typename T>
   [[nodiscard]] CompiledExecResult<T> run(ReduceOp op,
                                           std::span<const std::vector<T>> inputs,
-                                          i64 threads = 1) const {
+                                          i64 threads = 0) const {
     const ExecPlan& pl = *plan_;
+    if (threads <= 0)
+      threads = auto_exec_threads(pl.elem_count * static_cast<i64>(sizeof(T)));
     if (static_cast<i64>(inputs.size()) != pl.p)
       throw std::runtime_error("executor: inputs.size() != p");
     for (const auto& in : inputs)
@@ -321,7 +340,7 @@ class CompiledExecutor {
 template <typename T>
 [[nodiscard]] CompiledExecResult<T> execute(const ExecPlan& plan, ReduceOp op,
                                             std::span<const std::vector<T>> inputs,
-                                            i64 threads = 1) {
+                                            i64 threads = 0) {
   return CompiledExecutor(plan).run<T>(op, inputs, threads);
 }
 
@@ -329,6 +348,6 @@ template <typename T>
 /// first accessor runs. Keep the plan in a named variable.
 template <typename T>
 CompiledExecResult<T> execute(ExecPlan&&, ReduceOp, std::span<const std::vector<T>>,
-                              i64 = 1) = delete;
+                              i64 = 0) = delete;
 
 }  // namespace bine::runtime

@@ -1,11 +1,12 @@
 #include "tune/tuner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 
-#include "harness/parallel.hpp"
+#include "exp/sweep.hpp"
 
 namespace bine::tune {
 
@@ -37,6 +38,43 @@ std::vector<const coll::AlgorithmEntry*> Tuner::candidates(Collective coll, i64 
   return out;
 }
 
+const coll::AlgorithmEntry* Tuner::winner_at(
+    harness::Runner& runner, Collective coll, i64 p, i64 size,
+    const std::vector<const coll::AlgorithmEntry*>& cands) const {
+  // Rank every candidate by simulated time. Pure function of the cell, so
+  // sharding cannot reorder anything observable.
+  std::vector<std::pair<double, size_t>> ranked(cands.size());
+  for (size_t k = 0; k < cands.size(); ++k)
+    ranked[k] = {runner.run(coll, *cands[k], p, size).seconds, k};
+  // stable_sort keeps registry order on ties -- the same tie-break
+  // best_of's strict < performs.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  if (options_.refine_top_k <= 0) return cands[ranked.front().second];
+
+  // Correctness gate: the best simulated candidate that also executes and
+  // verifies over real buffers wins. Verification outcomes are
+  // deterministic, so this stays shard-invariant.
+  const size_t k_max =
+      std::min<size_t>(static_cast<size_t>(options_.refine_top_k), ranked.size());
+  // Executor threads: cells are already fanned out across shard workers, so
+  // nesting the executor's thread pool inside a sharded build would
+  // oversubscribe (shard_width x exec_threads threads); only an explicitly
+  // serial build lets the executor's size-gated auto default engage.
+  const i64 exec_threads = options_.threads == 1 ? 0 : 1;
+  for (size_t k = 0; k < k_max; ++k) {
+    const coll::AlgorithmEntry* cand = cands[ranked[k].second];
+    const harness::VerifiedRun v = runner.run_verified(
+        coll, *cand, p, size, exec_threads, options_.refine_elem, options_.refine_op);
+    if (v.ok) return cand;
+  }
+  throw std::runtime_error(std::string("tuner: all top-") + std::to_string(k_max) +
+                           " candidates failed verified execution for " +
+                           to_string(coll) + " p=" + std::to_string(p) +
+                           " size=" + std::to_string(size));
+}
+
 std::vector<SizeInterval> Tuner::tune_cell(harness::Runner& runner, Collective coll,
                                            i64 p) const {
   const std::vector<const coll::AlgorithmEntry*> cands = candidates(coll, p);
@@ -44,53 +82,46 @@ std::vector<SizeInterval> Tuner::tune_cell(harness::Runner& runner, Collective c
     throw std::runtime_error(std::string("tuner: no applicable algorithm for ") +
                              to_string(coll) + " p=" + std::to_string(p));
 
+  std::vector<i64> grid = grid_;
   std::vector<const coll::AlgorithmEntry*> winners;
-  winners.reserve(grid_.size());
-  std::vector<std::pair<double, size_t>> ranked(cands.size());
-  for (const i64 size : grid_) {
-    // Rank every candidate by simulated time. Pure function of the cell, so
-    // sharding cannot reorder anything observable.
-    for (size_t k = 0; k < cands.size(); ++k)
-      ranked[k] = {runner.run(coll, *cands[k], p, size).seconds, k};
-    // stable_sort keeps registry order on ties -- the same tie-break
-    // best_of's strict < performs.
-    std::stable_sort(ranked.begin(), ranked.end(),
-                     [](const auto& a, const auto& b) { return a.first < b.first; });
+  winners.reserve(grid.size());
+  for (const i64 size : grid)
+    winners.push_back(winner_at(runner, coll, p, size, cands));
 
-    const coll::AlgorithmEntry* winner = nullptr;
-    if (options_.refine_top_k > 0) {
-      // Correctness gate: the best simulated candidate that also executes
-      // and verifies over real buffers wins. Verification outcomes are
-      // deterministic, so this stays shard-invariant.
-      const size_t k_max =
-          std::min<size_t>(static_cast<size_t>(options_.refine_top_k), ranked.size());
-      for (size_t k = 0; k < k_max && !winner; ++k) {
-        const coll::AlgorithmEntry* cand = cands[ranked[k].second];
-        const harness::VerifiedRun v =
-            runner.run_verified(coll, *cand, p, size, /*threads=*/1,
-                                options_.refine_elem, options_.refine_op);
-        if (v.ok) winner = cand;
-      }
-      if (!winner)
-        throw std::runtime_error(std::string("tuner: all top-") +
-                                 std::to_string(k_max) + " candidates failed verified "
-                                 "execution for " + to_string(coll) +
-                                 " p=" + std::to_string(p) +
-                                 " size=" + std::to_string(size));
-    } else {
-      winner = cands[ranked.front().second];
+  // Adaptive refinement (bounded depth): each pass ranks the geometric
+  // midpoint of every adjacent pair whose winners differ and inserts it, so
+  // the crossover boundary tightens by ~sqrt per pass. Midpoint winners that
+  // match neither neighbour (a third algorithm surfacing between grid
+  // points) simply become new grid points, and the next pass brackets both
+  // of the new crossings.
+  for (i64 depth = 0; depth < options_.bisect_depth; ++depth) {
+    std::vector<i64> refined_grid;
+    std::vector<const coll::AlgorithmEntry*> refined_winners;
+    bool inserted = false;
+    for (size_t i = 0; i < grid.size(); ++i) {
+      refined_grid.push_back(grid[i]);
+      refined_winners.push_back(winners[i]);
+      if (i + 1 >= grid.size() || winners[i] == winners[i + 1]) continue;
+      const i64 mid = static_cast<i64>(std::llround(
+          std::sqrt(static_cast<double>(grid[i]) * static_cast<double>(grid[i + 1]))));
+      if (mid <= grid[i] || mid >= grid[i + 1]) continue;  // bracket exhausted
+      refined_grid.push_back(mid);
+      refined_winners.push_back(winner_at(runner, coll, p, mid, cands));
+      inserted = true;
     }
-    winners.push_back(winner);
+    grid = std::move(refined_grid);
+    winners = std::move(refined_winners);
+    if (!inserted) break;
   }
 
   // Compress per-size winners into the piecewise crossover structure: the
   // winner at grid size s governs [s, next grid size); the first interval
   // extends down to 0 and the last is open-ended.
   std::vector<SizeInterval> intervals;
-  for (size_t i = 0; i < grid_.size(); ++i) {
+  for (size_t i = 0; i < grid.size(); ++i) {
     if (intervals.empty() || intervals.back().algorithm != winners[i]->name) {
-      if (!intervals.empty()) intervals.back().hi_bytes = grid_[i];
-      intervals.push_back({intervals.empty() ? 0 : grid_[i], kNoUpperBound,
+      if (!intervals.empty()) intervals.back().hi_bytes = grid[i];
+      intervals.push_back({intervals.empty() ? 0 : grid[i], kNoUpperBound,
                            winners[i]->name});
     }
   }
@@ -110,42 +141,38 @@ DecisionTable Tuner::build(const std::vector<net::SystemProfile>& profiles,
     table.set_profile(profile.name, fp);
   }
 
-  // One Runner per profile, shared by all that profile's cells and ALL
-  // worker threads (Runner is sweep-grade thread-safe); every Runner shares
-  // the process-wide schedule cache, so a (coll, p) pair generates once no
-  // matter how many systems rank it.
-  std::vector<std::unique_ptr<harness::Runner>> runners;
-  runners.reserve(profiles.size());
-  for (const net::SystemProfile& profile : profiles)
-    runners.push_back(std::make_unique<harness::Runner>(
-        profile, options_.spread_placement, options_.seed));
+  // The cell enumeration and cross-system sharding now live in the sweep
+  // engine's planner: a tuning run is just a plan over (systems, colls,
+  // node counts) whose deduplicated (system, coll, p) work items we measure
+  // with tune_cell instead of a metric backend. One Runner per profile,
+  // shared by all that profile's cells and ALL worker threads (Runner is
+  // sweep-grade thread-safe); every Runner shares the process-wide schedule
+  // cache, so a (coll, p) pair generates once no matter how many systems
+  // rank it.
+  exp::SweepPlan plan;
+  plan.name = "tuner_build";
+  plan.systems.reserve(profiles.size());
+  for (const net::SystemProfile& profile : profiles) {
+    exp::SystemSpec spec;
+    spec.profile = profile;
+    spec.spread_placement = options_.spread_placement;
+    spec.seed = options_.seed;
+    plan.systems.push_back(std::move(spec));
+  }
+  plan.colls = colls;
+  plan.nodes.counts = node_counts;
+  plan.threads = options_.threads;
 
-  struct Cell {
-    size_t profile_idx;
-    Collective coll;
-    i64 p;
-  };
-  std::vector<Cell> cells;
-  for (size_t pi = 0; pi < profiles.size(); ++pi)
-    for (const Collective coll : colls)
-      for (const i64 p : node_counts) cells.push_back({pi, coll, p});
-
-  // The shard axis the table benches lacked: one work item per (system,
-  // coll, p) cell, index-addressed results, any thread count.
+  const std::vector<exp::CellRef> cells = exp::enumerate_cells(plan);
   std::vector<std::vector<SizeInterval>> results(cells.size());
-  harness::parallel_for(
-      static_cast<i64>(cells.size()),
-      [&](i64 i) {
-        const Cell& cell = cells[static_cast<size_t>(i)];
-        results[static_cast<size_t>(i)] =
-            tune_cell(*runners[cell.profile_idx], cell.coll, cell.p);
-      },
-      options_.threads);
+  exp::run_cells(plan,
+                 [&](size_t i, const exp::CellRef& cell, harness::Runner& runner) {
+                   results[i] = tune_cell(runner, cell.coll, cell.p);
+                 });
 
   for (size_t i = 0; i < cells.size(); ++i)
-    table.set_cell(
-        CellKey{profiles[cells[i].profile_idx].name, cells[i].coll, cells[i].p},
-        std::move(results[i]));
+    table.set_cell(CellKey{profiles[cells[i].system].name, cells[i].coll, cells[i].p},
+                   std::move(results[i]));
   return table;
 }
 

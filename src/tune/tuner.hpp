@@ -9,10 +9,11 @@
 /// benches run -- and then throw away -- into persisted decision tables.
 ///
 /// A *cell* is one (system profile, collective, p): the unit the classic
-/// collective-tuning literature keys selection by, and the unit this engine
-/// shards. `build` creates one Runner per profile and fans one work item per
-/// cell out over harness::parallel_for, closing the "no cross-system
-/// parallelism" gap: cells of different systems run concurrently, all
+/// collective-tuning literature keys selection by, the sweep-engine
+/// planner's work-item unit, and the unit this engine shards. `build`
+/// declares a plan over (profiles, collectives, node counts) and lets
+/// exp::run_cells enumerate, deduplicate and fan the cells out -- one
+/// Runner per profile, cells of different systems running concurrently, all
 /// sharing the process-wide schedule cache (generation for a (coll, p) pair
 /// happens once no matter how many systems rank it). Inside a cell, every
 /// candidate algorithm from coll::registry is ranked at every grid size by
@@ -37,6 +38,14 @@ struct TunerOptions {
   /// > 0: per grid size, re-check the top-K simulated candidates through
   /// verified execution and disqualify failures. 0 = simulation ranking only.
   i64 refine_top_k = 0;
+  /// Adaptive grid refinement: up to this many bisection passes between
+  /// adjacent grid points whose winners differ. Each pass ranks the
+  /// geometric midpoint of every crossover bracket (the same ranking --
+  /// including the verified-execution gate -- the base grid uses) and
+  /// inserts it into the grid, so DecisionTable crossover boundaries tighten
+  /// without a denser global grid. 0 = base grid only. Deterministic: the
+  /// refined grid is a pure function of the cell.
+  i64 bisect_depth = 0;
   runtime::ElemType refine_elem = runtime::ElemType::u32;
   runtime::ReduceOp refine_op = runtime::ReduceOp::sum;
   /// Shard width for build(); <= 0 = harness::default_thread_count().
@@ -55,7 +64,10 @@ class Tuner {
 
   /// Tune every (profile, collective, p) cell and assemble the table
   /// (profiles fingerprinted, cells interval-compressed). Profile names must
-  /// be unique. One work item per cell, sharded across `options().threads`.
+  /// be unique. Cell enumeration and sharding delegate to the sweep
+  /// engine's planner (exp::enumerate_cells / exp::run_cells): one work item
+  /// per deduplicated cell, sharded across `options().threads`, every
+  /// Runner sharing the process-wide schedule cache.
   [[nodiscard]] DecisionTable build(const std::vector<net::SystemProfile>& profiles,
                                     const std::vector<sched::Collective>& colls,
                                     const std::vector<i64>& node_counts) const;
@@ -73,6 +85,13 @@ class Tuner {
       sched::Collective coll, i64 p);
 
  private:
+  /// Rank every candidate at one size and return the winner (simulated
+  /// argmin, refined through verified execution when configured).
+  [[nodiscard]] const coll::AlgorithmEntry* winner_at(harness::Runner& runner,
+                                                      sched::Collective coll, i64 p,
+                                                      i64 size,
+                                                      const std::vector<const coll::AlgorithmEntry*>& cands) const;
+
   TunerOptions options_;
   std::vector<i64> grid_;  ///< normalized size_grid
 };

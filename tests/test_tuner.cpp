@@ -386,3 +386,101 @@ TEST(TuneJson, ParserRejectsMalformedDocuments) {
   EXPECT_EQ(arr[2].as_string("s"), "x\n");
   EXPECT_TRUE(arr[3].as_bool("b"));
 }
+
+// --- adaptive grid refinement (crossover bisection) -------------------------
+
+// Bisection is a no-op when the grid has no crossover to bracket: a
+// single-point grid has no adjacent pairs, so any depth must emit exactly
+// the depth-0 table (the refinement loop may not perturb grid or winners
+// when it inserts nothing).
+TEST(TunerBisect, NoOpWithoutCrossovers) {
+  tune::TunerOptions base = small_options();
+  base.size_grid = {8192};
+  tune::TunerOptions deep = base;
+  deep.bisect_depth = 5;
+  EXPECT_EQ(tune::Tuner(base).build({net::lumi_profile()}, kColls, kNodes).dump(),
+            tune::Tuner(deep).build({net::lumi_profile()}, kColls, kNodes).dump());
+}
+
+// Bisection only moves interval boundaries INTO the bracket between the base
+// grid points whose winners differ: every refined boundary lies strictly
+// inside some base bracket or on a base grid point, the partition stays
+// valid (set_cell enforces that), and the winner at every base grid point
+// is unchanged.
+TEST(TunerBisect, TightensCrossoversWithinBrackets) {
+  tune::TunerOptions coarse = small_options();
+  coarse.size_grid = {32, 8388608};  // one huge bracket: crossovers likely inside
+  tune::TunerOptions refined_opts = coarse;
+  refined_opts.bisect_depth = 3;
+
+  const tune::DecisionTable base =
+      tune::Tuner(coarse).build({net::lumi_profile()}, kColls, kNodes);
+  const tune::DecisionTable refined =
+      tune::Tuner(refined_opts).build({net::lumi_profile()}, kColls, kNodes);
+
+  for (const auto& [key, intervals] : refined.cells()) {
+    const auto* base_cell = base.cell(key.profile, key.coll, key.p);
+    ASSERT_NE(base_cell, nullptr);
+    // Boundaries (other than 0/open-end) must lie within the coarse grid's
+    // span -- bisection never extrapolates.
+    for (const tune::SizeInterval& iv : intervals) {
+      if (iv.lo_bytes == 0) continue;
+      EXPECT_GE(iv.lo_bytes, coarse.size_grid.front());
+      EXPECT_LE(iv.lo_bytes, coarse.size_grid.back());
+    }
+    // Winners at the base grid points never change: refinement adds
+    // resolution between them, it does not re-rank them.
+    for (const i64 size : coarse.size_grid) {
+      const std::string* w_base = base.lookup(key.profile, key.coll, key.p, size);
+      const std::string* w_ref = refined.lookup(key.profile, key.coll, key.p, size);
+      ASSERT_NE(w_base, nullptr);
+      ASSERT_NE(w_ref, nullptr);
+      EXPECT_EQ(*w_base, *w_ref);
+    }
+    // At least as many crossovers resolved as the coarse table knew about.
+    EXPECT_GE(intervals.size(), base_cell->size());
+  }
+}
+
+// Refined boundaries are exact at every size the bisection evaluated: probe
+// the refined table's own boundaries against a direct argmin.
+TEST(TunerBisect, BoundaryWinnersMatchArgmin) {
+  tune::TunerOptions opts = small_options();
+  opts.size_grid = {256, 2097152};
+  opts.bisect_depth = 4;
+  const tune::DecisionTable table =
+      tune::Tuner(opts).build({net::lumi_profile()}, {Collective::allreduce}, {16});
+
+  harness::Runner runner(net::lumi_profile());
+  const auto* cell = table.cell("lumi", Collective::allreduce, 16);
+  ASSERT_NE(cell, nullptr);
+  for (const tune::SizeInterval& iv : *cell) {
+    if (iv.lo_bytes == 0) continue;
+    // The interval's lower bound was an evaluated grid point, so the stored
+    // winner there must equal the exhaustive argmin.
+    double best = std::numeric_limits<double>::infinity();
+    std::string best_name;
+    for (const auto* cand : tune::Tuner::candidates(Collective::allreduce, 16)) {
+      const double s =
+          runner.run(Collective::allreduce, *cand, 16, iv.lo_bytes).seconds;
+      if (s < best) {
+        best = s;
+        best_name = cand->name;
+      }
+    }
+    EXPECT_EQ(iv.algorithm, best_name) << "at " << iv.lo_bytes;
+  }
+}
+
+// Sharded and serial builds stay byte-identical with bisection enabled.
+TEST(TunerBisect, ShardedBuildIsDeterministic) {
+  tune::TunerOptions a = small_options(1);
+  a.bisect_depth = 2;
+  tune::TunerOptions b = small_options(4);
+  b.bisect_depth = 2;
+  EXPECT_EQ(
+      tune::Tuner(a).build({net::lumi_profile(), net::mn5_profile()}, kColls, kNodes)
+          .dump(),
+      tune::Tuner(b).build({net::lumi_profile(), net::mn5_profile()}, kColls, kNodes)
+          .dump());
+}
