@@ -21,6 +21,7 @@
 
 #include "coll/registry.hpp"
 #include "exp/sweep.hpp"
+#include "fault/fault.hpp"
 #include "harness/runner.hpp"
 #include "net/profiles.hpp"
 #include "runtime/compiled_executor.hpp"
@@ -262,7 +263,7 @@ int main() {
               crossover_label.c_str(),
               static_cast<long long>(runtime::kExecAutoThreadBytes), cores);
 
-  if (std::FILE* f = std::fopen("BENCH_exec.json", "w")) {
+  if (fault::AtomicFile out("BENCH_exec.json"); std::FILE* f = out.handle()) {
     std::string profile_json;
     for (size_t i = 0; i < profile.size(); ++i) {
       char buf[128];
@@ -295,8 +296,7 @@ int main() {
                  static_cast<unsigned long long>(second_misses), profile_json.c_str(),
                  static_cast<long long>(crossover),
                  static_cast<long long>(runtime::kExecAutoThreadBytes), cores);
-    std::fclose(f);
-    std::printf("wrote BENCH_exec.json\n");
+    if (out.commit()) std::printf("wrote BENCH_exec.json\n");
   }
   return (parity && second_ok && second_misses == 0) ? 0 : 1;
 }

@@ -1,0 +1,154 @@
+// Fault-layer overhead and behaviour benchmark.
+//
+// The fault subsystem's contract is "pay only when you use it": a Runner
+// without a fault spec (or with a trivial one) must take the exact same code
+// path as a build that predates the layer -- one null check per hook. This
+// bench measures that claim and snapshots it:
+//
+//   * healthy vs zero-spec per-schedule simulation rate (same workload, warm
+//     schedule cache) -- the hook-overhead gate, must stay under 2%;
+//   * bit-exact parity of every simulated time between the two (the
+//     zero-fault identity contract, asserted, not just reported);
+//   * a visibly degraded run (halved global bandwidth, 5% link outages) for
+//     sanity: every cell must simulate no faster than its healthy twin.
+//
+// Emits BENCH_faults.json (atomically, like every artifact since the fault
+// layer landed). Exit 1 on parity failure, overhead breach, or a degraded
+// cell that got faster.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coll/registry.hpp"
+#include "fault/fault.hpp"
+#include "harness/runner.hpp"
+#include "net/profiles.hpp"
+
+using namespace bine;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Cell {
+  const coll::AlgorithmEntry* algo = nullptr;
+  i64 size = 0;
+};
+
+// Run every cell once (warms caches) and collect the simulated seconds.
+std::vector<double> sweep_once(harness::Runner& r, const std::vector<Cell>& cells) {
+  std::vector<double> out;
+  out.reserve(cells.size());
+  for (const Cell& c : cells)
+    out.push_back(r.run(sched::Collective::allreduce, *c.algo, 64, c.size).seconds);
+  return out;
+}
+
+// Best-of-rounds per-schedule rate over the warm sweep (min time: noise on a
+// shared machine only ever adds).
+double measure_rate(harness::Runner& r, const std::vector<Cell>& cells) {
+  double best = std::numeric_limits<double>::infinity();
+  double checksum = 0;
+  for (int round = 0; round < 5; ++round) {
+    const auto t0 = Clock::now();
+    for (const Cell& c : cells)
+      checksum += r.run(sched::Collective::allreduce, *c.algo, 64, c.size).seconds;
+    best = std::min(best, seconds_since(t0));
+  }
+  (void)checksum;
+  return static_cast<double>(cells.size()) / best;
+}
+
+}  // namespace
+
+int main() {
+  // The overhead gate needs a controlled healthy baseline; an inherited CI
+  // fault spec would degrade it and measure the wrong thing.
+  unsetenv("BINE_FAULT_SPEC");
+
+  std::vector<Cell> cells;
+  for (const auto& entry : coll::algorithms_for(sched::Collective::allreduce)) {
+    if (entry.specialized) continue;
+    for (const i64 size : {256LL, 16384LL, 1048576LL}) cells.push_back({&entry, size});
+  }
+  std::printf("workload: %zu allreduce schedules on lumi, p=64\n", cells.size());
+
+  harness::Runner healthy(net::lumi_profile());
+
+  net::SystemProfile zero_profile = net::lumi_profile();
+  zero_profile.faults = std::make_shared<fault::FaultSpec>();  // trivial -> dropped
+  harness::Runner zero(std::move(zero_profile));
+
+  net::SystemProfile degraded_profile = net::lumi_profile();
+  {
+    auto spec = std::make_shared<fault::FaultSpec>();
+    spec->seed = 7;
+    spec->degrade_global = 0.5;
+    spec->degrade_local = 0.9;
+    spec->link_outage_fraction = 0.05;
+    degraded_profile.faults = std::move(spec);
+  }
+  harness::Runner degraded(std::move(degraded_profile));
+
+  const std::vector<double> healthy_s = sweep_once(healthy, cells);
+  const std::vector<double> zero_s = sweep_once(zero, cells);
+  const std::vector<double> degraded_s = sweep_once(degraded, cells);
+
+  const bool parity = healthy_s == zero_s;  // bit-exact, per the contract
+  bool monotonic = true;
+  double slowdown_sum = 0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    monotonic = monotonic && degraded_s[i] >= healthy_s[i];
+    slowdown_sum += degraded_s[i] / healthy_s[i];
+  }
+  const double mean_slowdown = slowdown_sum / static_cast<double>(cells.size());
+
+  const double healthy_rate = measure_rate(healthy, cells);
+  const double zero_rate = measure_rate(zero, cells);
+  const double degraded_rate = measure_rate(degraded, cells);
+  const double overhead_pct =
+      std::max(0.0, 100.0 * (1.0 - zero_rate / healthy_rate));
+
+  std::printf("healthy:  %10.1f schedules/sec\n", healthy_rate);
+  std::printf("zero-spec:%10.1f schedules/sec (hook overhead %.2f%%)\n", zero_rate,
+              overhead_pct);
+  std::printf("degraded: %10.1f schedules/sec (mean simulated slowdown %.2fx)\n",
+              degraded_rate, mean_slowdown);
+  std::printf("parity:   %s, degraded monotonic: %s\n", parity ? "bit-exact" : "FAILED",
+              monotonic ? "yes" : "FAILED");
+
+  const bool overhead_ok = overhead_pct < 2.0;
+  if (!overhead_ok)
+    std::fprintf(stderr, "FAIL: zero-spec hook overhead %.2f%% >= 2%%\n", overhead_pct);
+
+  if (fault::AtomicFile out("BENCH_faults.json"); std::FILE* f = out.handle()) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"faults\",\n"
+                 "  \"system\": \"lumi\",\n"
+                 "  \"collective\": \"allreduce\",\n"
+                 "  \"nodes\": 64,\n"
+                 "  \"num_schedules\": %zu,\n"
+                 "  \"healthy_schedules_per_sec\": %.1f,\n"
+                 "  \"zero_spec_schedules_per_sec\": %.1f,\n"
+                 "  \"hook_overhead_pct\": %.2f,\n"
+                 "  \"zero_spec_parity_bit_exact\": %s,\n"
+                 "  \"degraded_schedules_per_sec\": %.1f,\n"
+                 "  \"degraded_mean_slowdown\": %.3f,\n"
+                 "  \"degraded_monotonic\": %s\n"
+                 "}\n",
+                 cells.size(), healthy_rate, zero_rate, overhead_pct,
+                 parity ? "true" : "false", degraded_rate, mean_slowdown,
+                 monotonic ? "true" : "false");
+    if (out.commit()) std::printf("wrote BENCH_faults.json\n");
+  }
+  return (parity && monotonic && overhead_ok) ? 0 : 1;
+}

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "exp/sweep.hpp"
+#include "fault/fault.hpp"
 #include "net/profiles.hpp"
 
 using namespace bine;
@@ -102,7 +103,7 @@ int main() {
               1e3 * cached_time);
   std::printf("speedup:  %8.2fx   (parity: bit-exact)\n", speedup);
 
-  if (std::FILE* f = std::fopen("BENCH_gen.json", "w")) {
+  if (fault::AtomicFile out("BENCH_gen.json"); std::FILE* f = out.handle()) {
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"schedule_gen\",\n"
@@ -115,8 +116,7 @@ int main() {
                  "}\n",
                  num_queries, 1e3 * uncached_time, 1e3 * cached_time, speedup,
                  parity ? "true" : "false");
-    std::fclose(f);
-    std::printf("wrote BENCH_gen.json\n");
+    if (out.commit()) std::printf("wrote BENCH_gen.json\n");
   }
   return 0;
 }

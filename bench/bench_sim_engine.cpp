@@ -18,6 +18,7 @@
 
 #include "coll/registry.hpp"
 #include "exp/sweep.hpp"
+#include "fault/fault.hpp"
 #include "net/route_cache.hpp"
 #include "net/simulate.hpp"
 #include "net/topology.hpp"
@@ -139,7 +140,7 @@ int main() {
               1e3 * compiled_total);
   std::printf("speedup:  %10.2fx   (parity rel err %.3g)\n", speedup, max_rel_err);
 
-  if (std::FILE* f = std::fopen("BENCH_sim.json", "w")) {
+  if (fault::AtomicFile out("BENCH_sim.json"); std::FILE* f = out.handle()) {
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"sim_engine\",\n"
@@ -152,8 +153,7 @@ int main() {
                  "  \"parity_max_rel_err\": %.3g\n"
                  "}\n",
                  cells, naive_rate, compiled_rate, speedup, max_rel_err);
-    std::fclose(f);
-    std::printf("wrote BENCH_sim.json\n");
+    if (out.commit()) std::printf("wrote BENCH_sim.json\n");
   }
   return 0;
 }

@@ -19,6 +19,7 @@
 
 #include "coll/registry.hpp"
 #include "exp/paper_plans.hpp"
+#include "fault/fault.hpp"
 #include "net/profiles.hpp"
 
 using namespace bine;
@@ -122,7 +123,7 @@ int main() {
               "multi-core runners)\n",
               cores);
 
-  if (std::FILE* f = std::fopen("BENCH_sweep.json", "w")) {
+  if (fault::AtomicFile out("BENCH_sweep.json"); std::FILE* f = out.handle()) {
     std::string plans_json;
     for (size_t i = 0; i < timings.size(); ++i) {
       const PlanTiming& t = timings[i];
@@ -144,8 +145,7 @@ int main() {
                  "  \"hardware_threads\": %u\n"
                  "}\n",
                  plans_json.c_str(), cores);
-    std::fclose(f);
-    std::printf("wrote BENCH_sweep.json\n");
+    if (out.commit()) std::printf("wrote BENCH_sweep.json\n");
   }
   return all_equal ? 0 : 1;
 }

@@ -26,6 +26,7 @@
 
 #include "coll/registry.hpp"
 #include "exp/sweep.hpp"
+#include "fault/fault.hpp"
 #include "net/profiles.hpp"
 #include "tune/decision_table.hpp"
 #include "tune/tuner.hpp"
@@ -178,7 +179,7 @@ int main() {
               tuned_total, best_fixed_total, dispatch_speedup,
               select_parity ? "exact" : "FAILED");
 
-  if (std::FILE* f = std::fopen("BENCH_tune.json", "w")) {
+  if (fault::AtomicFile out("BENCH_tune.json"); std::FILE* f = out.handle()) {
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"tuner\",\n"
@@ -204,8 +205,7 @@ int main() {
                  dispatch_speedup, fixed_report.c_str(),
                  select_parity ? "true" : "false", 1e3 * serial_s, 1e3 * sharded_s,
                  build_speedup, cores);
-    std::fclose(f);
-    std::printf("wrote BENCH_tune.json\n");
+    if (out.commit()) std::printf("wrote BENCH_tune.json\n");
   }
 
   return (select_parity && tuned_total < best_fixed_total) ? 0 : 1;

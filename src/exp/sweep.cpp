@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "fault/fault.hpp"
 #include "harness/parallel.hpp"
 #include "tune/json.hpp"
 
@@ -261,7 +262,7 @@ void measure_cell(const SweepPlan& plan, const Axes& ax, const Item& item,
       eval[n].reset();
       if (verified) veval[n].reset();
       const auto& entry = coll::find_algorithm(cell.coll, names[n]);
-      if (entry.pow2_only && !is_pow2(cell.p)) continue;
+      if (!runner->applicable(entry, cell.p)) continue;
       if (verified)
         veval[n] = runner->run_verified(cell.coll, entry, cell.p, size, exec_threads,
                                         plan.elem, plan.op);
@@ -335,6 +336,37 @@ void measure_cell(const SweepPlan& plan, const Axes& ax, const Item& item,
   }
 }
 
+/// The failure discipline shared by run() and run_cells(): run `body` with
+/// bounded deterministic retry for transient failures; on a surviving
+/// failure, either rethrow (OnError::propagate) or return the structured
+/// CellError (OnError::isolate). nullopt = success.
+std::optional<CellError> run_guarded(const SweepPlan& plan, const std::string& system,
+                                     const CellRef& cell,
+                                     const std::function<void()>& body) {
+  for (i64 attempt = 1;; ++attempt) {
+    try {
+      body();
+      return std::nullopt;
+    } catch (...) {
+      const bool transient = fault::classify_current_exception() ==
+                             fault::FaultClass::transient;
+      if (transient && attempt <= plan.transient_retries) {
+        fault::retry_backoff(attempt, plan.retry_backoff_ms);
+        continue;
+      }
+      if (plan.on_error == SweepPlan::OnError::propagate) throw;
+      CellError err;
+      err.system = system;
+      err.coll = cell.coll;
+      err.nodes = cell.p;
+      err.message = fault::describe_current_exception();
+      err.attempts = attempt;
+      err.transient = transient;
+      return err;
+    }
+  }
+}
+
 }  // namespace
 
 // --- engine ------------------------------------------------------------------
@@ -360,23 +392,41 @@ std::vector<CellRef> enumerate_cells(const SweepPlan& plan) {
   return cells;
 }
 
-void run_cells(const SweepPlan& plan,
-               const std::function<void(size_t, const CellRef&, harness::Runner&)>& fn) {
+std::vector<CellFailure> run_cells(
+    const SweepPlan& plan,
+    const std::function<void(size_t, const CellRef&, harness::Runner&)>& fn) {
   if (plan.systems.empty())
     throw std::invalid_argument(
         "exp: run_cells requires at least one system (the callback binds a Runner)");
   const std::vector<CellRef> cells = enumerate_cells(plan);
   const auto runners = make_runners(plan);
   // Warm the per-node machine instances serially so workers only compete for
-  // cells, not for building the same topology/route table under a lock.
-  for (const CellRef& cell : cells) runners[cell.system]->prewarm(cell.p);
+  // cells, not for building the same topology/route table under a lock. A
+  // cell whose instance cannot build (e.g. too few surviving ranks under a
+  // fault spec) fails again inside its guarded work item, where the plan's
+  // failure discipline applies -- warming must not preempt that.
+  for (const CellRef& cell : cells) {
+    try {
+      runners[cell.system]->prewarm(cell.p);
+    } catch (...) {
+    }
+  }
+  std::vector<std::optional<CellError>> errors(cells.size());
   harness::parallel_for(
       static_cast<i64>(cells.size()),
       [&](i64 i) {
         const CellRef& cell = cells[static_cast<size_t>(i)];
-        fn(static_cast<size_t>(i), cell, *runners[cell.system]);
+        errors[static_cast<size_t>(i)] = run_guarded(
+            plan, plan.systems[cell.system].profile.name, cell,
+            [&] { fn(static_cast<size_t>(i), cell, *runners[cell.system]); });
       },
       plan.threads);
+  // Index-addressed error slots -> deterministic cell order for any shard
+  // width (empty under OnError::propagate: the first failure rethrew above).
+  std::vector<CellFailure> failures;
+  for (size_t i = 0; i < cells.size(); ++i)
+    if (errors[i]) failures.push_back({i, cells[i], std::move(*errors[i])});
+  return failures;
 }
 
 SweepResult run(const SweepPlan& plan) {
@@ -385,7 +435,13 @@ SweepResult run(const SweepPlan& plan) {
   const std::vector<Item> items = compile_items(ax);
   const auto runners = make_runners(plan);
   if (!runners.empty())
-    for (const Item& item : items) runners[item.cell.system]->prewarm(item.cell.p);
+    for (const Item& item : items) {
+      try {
+        runners[item.cell.system]->prewarm(item.cell.p);
+      } catch (...) {
+        // Rediscovered inside the guarded work item (see run_cells).
+      }
+    }
 
   // Executor threads for verified cells: when the sweep itself fans cells
   // out across more than one worker, each cell's executor stays sequential
@@ -399,16 +455,33 @@ SweepResult run(const SweepPlan& plan) {
   }
 
   // One work item per deduplicated (system, coll, p) cell -- the cross-system
-  // fan-out axis -- each writing only its own block.
+  // fan-out axis -- each writing only its own block. Failures follow the
+  // plan's discipline (run_guarded): a cell that dies under OnError::isolate
+  // fills its block with failed rows and records a structured error instead
+  // of aborting the sweep.
   std::vector<std::vector<Metrics>> blocks(items.size());
+  std::vector<std::optional<CellError>> cell_errors(items.size());
   harness::parallel_for(
       static_cast<i64>(items.size()),
       [&](i64 i) {
         const Item& item = items[static_cast<size_t>(i)];
         harness::Runner* runner =
             runners.empty() ? nullptr : runners[item.cell.system].get();
-        measure_cell(plan, ax, item, runner, exec_threads,
-                     blocks[static_cast<size_t>(i)]);
+        const std::string system =
+            plan.systems.empty() ? "" : plan.systems[item.cell.system].profile.name;
+        cell_errors[static_cast<size_t>(i)] =
+            run_guarded(plan, system, item.cell, [&] {
+              measure_cell(plan, ax, item, runner, exec_threads,
+                           blocks[static_cast<size_t>(i)]);
+            });
+        if (cell_errors[static_cast<size_t>(i)]) {
+          auto& block = blocks[static_cast<size_t>(i)];
+          block.assign(ax.block_rows(), Metrics{});
+          for (Metrics& m : block) {
+            m.failed = true;
+            m.error = cell_errors[static_cast<size_t>(i)]->message;
+          }
+        }
       },
       plan.threads);
 
@@ -449,6 +522,10 @@ SweepResult run(const SweepPlan& plan) {
           row.m = blocks[i][si * ax.num_series + k];
         }
   }
+  // Item order = deterministic first-occurrence cell order for any shard
+  // width; empty on clean runs and under OnError::propagate.
+  for (auto& err : cell_errors)
+    if (err) res.errors.push_back(std::move(*err));
   return res;
 }
 
@@ -511,7 +588,10 @@ std::string SweepResult::to_json() const {
     append_i64(out, r.nodes);
     out += ", \"size_bytes\": ";
     append_i64(out, r.size_bytes);
-    if (r.m.skipped) {
+    if (r.m.failed) {
+      out += ", \"failed\": true";
+      out += ", \"error\": \"" + tune::json::escape(r.m.error) + "\"";
+    } else if (r.m.skipped) {
       out += ", \"skipped\": true";
     } else if (backend == Backend::execute_verified) {
       out += ", \"algorithm\": \"" + tune::json::escape(r.m.algorithm) + "\"";
@@ -556,16 +636,33 @@ std::string SweepResult::to_json() const {
     }
     out += i + 1 < rows.size() ? "},\n" : "}\n";
   }
-  out += "  ]\n}\n";
+  out += "  ]";
+  // The errors array only exists when failures were isolated, so a clean
+  // run's output is byte-identical to the pre-fault-layer format.
+  if (!errors.empty()) {
+    out += ",\n  \"errors\": [\n";
+    for (size_t i = 0; i < errors.size(); ++i) {
+      const CellError& e = errors[i];
+      out += "    {\"system\": \"" + tune::json::escape(e.system) + "\"";
+      out += ", \"coll\": \"";
+      out += to_string(e.coll);
+      out += "\"";
+      out += ", \"nodes\": ";
+      append_i64(out, e.nodes);
+      out += ", \"message\": \"" + tune::json::escape(e.message) + "\"";
+      out += ", \"attempts\": ";
+      append_i64(out, e.attempts);
+      out += std::string(", \"transient\": ") + (e.transient ? "true" : "false");
+      out += i + 1 < errors.size() ? "},\n" : "}\n";
+    }
+    out += "  ]";
+  }
+  out += "\n}\n";
   return out;
 }
 
 void SweepResult::save_json(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) throw std::runtime_error("exp: cannot write " + path);
-  const std::string text = to_json();
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
+  fault::write_file_atomic(path, to_json());
 }
 
 }  // namespace bine::exp

@@ -114,6 +114,11 @@ struct Metrics {
   i64 messages = 0;
   size_t steps = 0;
   bool skipped = false;
+  /// The cell's work item threw and the plan isolates failures
+  /// (SweepPlan::OnError::isolate): every row of the cell's block carries
+  /// failed=true plus the message in `error`, and the result stays partial
+  /// instead of the whole sweep aborting.
+  bool failed = false;
   // Backend::execute_verified
   bool ok = false;
   std::string error;
@@ -176,6 +181,34 @@ struct SweepPlan {
   tune::MissPolicy miss_policy = tune::MissPolicy::heuristic_default;
 
   i64 threads = 0;  ///< shard width; <= 0 = harness::default_thread_count()
+
+  /// What an exception escaping one work item does to the sweep.
+  enum class OnError {
+    propagate,  ///< rethrow after join (the pre-fault-layer behavior)
+    isolate,    ///< structured error rows: the cell's block marks failed,
+                ///< the rest of the sweep completes, SweepResult::errors
+                ///< records the ErrorReport
+  };
+  OnError on_error = OnError::propagate;
+  /// Bounded deterministic retry for failures classified transient
+  /// (fault::TransientError): up to this many re-runs of the work item
+  /// before the failure counts. Permanent failures never retry.
+  i64 transient_retries = 0;
+  /// Backoff base (milliseconds) between transient retries, doubling per
+  /// attempt (fault::retry_backoff). 0 = no sleeping -- the default, so
+  /// deterministic-output plans stay time-independent.
+  i64 retry_backoff_ms = 0;
+};
+
+/// Structured report of one isolated work-item failure: which (system, coll,
+/// p) cell died, with what message, after how many attempts.
+struct CellError {
+  std::string system;
+  Collective coll{};
+  i64 nodes = 0;
+  std::string message;
+  i64 attempts = 1;       ///< total tries, transient retries included
+  bool transient = false; ///< classification of the final failure
 };
 
 /// The deterministic, stably-ordered result table: rows in canonical
@@ -190,6 +223,10 @@ struct SweepResult {
   std::vector<std::vector<i64>> coll_nodes;  ///< per collective (NodeAxis applied)
   std::vector<i64> sizes;
   std::vector<Row> rows;
+  /// Isolated work-item failures in deterministic work-item order; empty on
+  /// a clean run (and always empty under OnError::propagate), so fault-free
+  /// JSON output is byte-identical to the pre-fault-layer format.
+  std::vector<CellError> errors;
 
   /// Index of a row by axis position (coll_nodes[coll_idx][node_idx]).
   [[nodiscard]] size_t row_index(size_t system, size_t coll_idx, size_t node_idx,
@@ -198,8 +235,12 @@ struct SweepResult {
                                   size_t size_idx, size_t series_idx) const;
 
   /// Canonical JSON emission (fixed field order, %.17g doubles): equal
-  /// results serialize byte-identically for any shard width.
+  /// results serialize byte-identically for any shard width. Failed rows
+  /// carry `"failed": true` plus the error; isolated failures add a
+  /// top-level `"errors"` array (absent when the run was clean).
   [[nodiscard]] std::string to_json() const;
+  /// Crash-safe emission: write-temp-then-rename (fault::write_file_atomic),
+  /// so a kill mid-write never leaves a torn artifact.
   void save_json(const std::string& path) const;
 };
 
@@ -227,10 +268,24 @@ struct CellRef {
 [[nodiscard]] std::vector<std::unique_ptr<harness::Runner>> make_runners(
     const SweepPlan& plan);
 
+/// One failed work item of run_cells: the cell index (enumerate_cells
+/// order), its coordinates, and the structured error.
+struct CellFailure {
+  size_t index = 0;
+  CellRef cell;
+  CellError error;
+};
+
 /// Fan `fn` out over the plan's deduplicated cells with the planner's
 /// sharding (one work item per cell, index-addressed, any thread count).
 /// `fn(cell_index, cell, runner)` must write results only to its own index.
-void run_cells(const SweepPlan& plan,
-               const std::function<void(size_t, const CellRef&, harness::Runner&)>& fn);
+/// Failure discipline follows the plan: transient failures retry up to
+/// plan.transient_retries; under OnError::isolate surviving failures come
+/// back as the (deterministically ordered) return value with the other
+/// cells completed, under OnError::propagate the first one rethrows after
+/// join (and the returned vector is always empty).
+std::vector<CellFailure> run_cells(
+    const SweepPlan& plan,
+    const std::function<void(size_t, const CellRef&, harness::Runner&)>& fn);
 
 }  // namespace bine::exp

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// The fault model: what the flagship systems the paper evaluates on
+/// (LUMI, Leonardo, Fugaku) actually look like at scale -- degraded links,
+/// dead links, failed ranks, lossy deliveries -- expressed as a single
+/// deterministic, seeded spec that every layer of the stack honours:
+///
+///   * `net::SystemProfile::faults` carries a FaultSpec; harness::Runner
+///     applies it when building a machine instance -- the RouteCache's
+///     inverse-bandwidth columns are degraded per link class, sampled /
+///     listed links are severed (a tiny residual bandwidth keeps simulated
+///     times finite and enormous), and failed ranks are removed from the
+///     placement, so collectives rebuild over the surviving-rank subset.
+///   * The compiled executor takes the spec as an *injection hook*: a
+///     seeded hash over (step, delivery) drops or corrupts deliveries, so
+///     `Runner::run_verified` provably detects the damage (not-ok
+///     VerifiedRun), never silently absorbs it.
+///   * The sweep engine and tuner classify per-cell failures through
+///     `classify()` -- fault::TransientError retries deterministically, a
+///     bounded number of times; everything else is permanent and becomes a
+///     structured error row / excluded cell instead of a process abort.
+///   * Artifact emission (DecisionTable / BENCH_*.json) goes through
+///     `write_file_atomic` / `AtomicFile`: write-temp-then-rename, so a
+///     crash mid-write never leaves a torn file; `load_or_quarantine`-style
+///     readers rename damage aside instead of failing hard.
+///
+/// The zero-fault path is bit-identical to a run with no spec at all: a
+/// `trivial()` spec is never consulted (Runner treats it as absent), keys
+/// carry fault epoch 0, and no hook branches are taken.
+namespace bine::fault {
+
+/// How a failure is treated by the self-healing sweep layers.
+enum class FaultClass {
+  transient,  ///< worth a bounded deterministic retry (link flap, contention)
+  permanent,  ///< structural: record, exclude, degrade -- never retry
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultClass c) noexcept {
+  return c == FaultClass::transient ? "transient" : "permanent";
+}
+
+/// Throw this (or a subclass) from a metric backend / work item to mark the
+/// failure retryable. Everything else classifies permanent.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Classification table (see DESIGN.md): TransientError -> transient,
+/// any other exception -> permanent.
+[[nodiscard]] FaultClass classify(const std::exception& e) noexcept;
+
+/// Classify the in-flight exception inside a catch block. Non-std::exception
+/// payloads classify permanent.
+[[nodiscard]] FaultClass classify_current_exception() noexcept;
+
+/// The in-flight exception's what() (or a placeholder for non-std payloads),
+/// for building structured error rows inside catch (...) blocks.
+[[nodiscard]] std::string describe_current_exception();
+
+/// Deterministic, seeded description of a degraded machine. Every field
+/// defaults to "healthy"; `trivial()` specs are ignored everywhere, which is
+/// what keeps the fault-free path bit-identical to a spec-free run.
+struct FaultSpec {
+  u64 seed = 0;
+
+  /// Per-link-class bandwidth multipliers in (0, 1]: 0.5 = the class runs at
+  /// half bandwidth. Applied to RouteCache's inverse-bandwidth columns.
+  double degrade_local = 1.0;
+  double degrade_global = 1.0;
+  double degrade_intra_node = 1.0;
+
+  /// Fraction of links deterministically severed: link l is dead when the
+  /// seeded hash of l lands below the fraction. Independent of link class.
+  double link_outage_fraction = 0.0;
+  /// Explicitly severed link ids (in addition to the sampled outages).
+  std::vector<i64> dead_links;
+  /// Residual bandwidth (B/s) modelling a severed link: simulated times stay
+  /// finite but enormous, so selection routes around the outage instead of
+  /// comparing infinities.
+  double dead_link_bandwidth = 1.0;
+
+  /// Ranks considered failed: collectives over `nodes` ranks rebuild over
+  /// the survivors in [0, nodes) (harness::Runner remaps the placement).
+  std::vector<Rank> failed_ranks;
+
+  /// Executor injection: per-delivery probabilities, decided by a seeded
+  /// hash of (step, delivery index) -- deterministic for any thread count.
+  double drop_fraction = 0.0;     ///< delivery silently discarded
+  double corrupt_fraction = 0.0;  ///< low bit of the payload's first element flipped
+
+  /// All-defaults spec: no layer consults it (the zero-fault parity contract).
+  [[nodiscard]] bool trivial() const noexcept;
+  /// Any link-level effect (degradation or outage)?
+  [[nodiscard]] bool degrades_links() const noexcept;
+  [[nodiscard]] bool has_failed_ranks() const noexcept { return !failed_ranks.empty(); }
+  [[nodiscard]] bool has_exec_injection() const noexcept {
+    return drop_fraction > 0 || corrupt_fraction > 0;
+  }
+
+  /// Stable content fingerprint; doubles by bit pattern. Used as the
+  /// ScheduleCache fault epoch and mixed into profile fingerprints, so a
+  /// changed fault model can never silently serve stale artifacts.
+  [[nodiscard]] u64 fingerprint() const;
+
+  [[nodiscard]] bool rank_failed(Rank r) const noexcept;
+  /// Live ranks among [0, p), ascending.
+  [[nodiscard]] std::vector<Rank> survivor_ranks(i64 p) const;
+  [[nodiscard]] i64 survivor_count(i64 p) const;
+
+  /// Seeded outage decision for one link id (explicit list OR sampled).
+  [[nodiscard]] bool link_dead(i64 link) const noexcept;
+
+  /// Seeded injection decisions for one delivery of one step.
+  [[nodiscard]] bool drop_delivery(size_t step, u64 delivery) const noexcept;
+  [[nodiscard]] bool corrupt_delivery(size_t step, u64 delivery) const noexcept;
+
+  /// Throws std::invalid_argument on out-of-domain fields (factors outside
+  /// (0, 1], negative fractions, negative rank ids).
+  void validate() const;
+};
+
+/// Parse the BINE_FAULT_SPEC environment variable into a spec, or nullptr
+/// when unset/empty. Format: comma-separated key=value pairs --
+///   seed=7,degrade_global=0.5,degrade_local=0.9,degrade_intra=0.95,
+///   outage=0.02,dead_bw=1,drop=0.01,corrupt=0.01,failed=0:3:5
+/// (failed ranks are ':'-separated). Throws std::invalid_argument on
+/// malformed input. The CI fault-injection job uses this to run the whole
+/// tier-1 suite on a degraded machine model.
+[[nodiscard]] std::shared_ptr<const FaultSpec> spec_from_env();
+
+/// Parse a spec string (the BINE_FAULT_SPEC syntax above); empty -> nullptr.
+[[nodiscard]] std::shared_ptr<const FaultSpec> parse_spec(std::string_view text);
+
+/// Bounded deterministic retry backoff: sleeps base_ms * 2^(attempt-1)
+/// milliseconds, capped at cap_ms; base_ms == 0 sleeps nothing (the default
+/// everywhere results must stay time-independent).
+void retry_backoff(i64 attempt, i64 base_ms, i64 cap_ms = 1000);
+
+// --- crash-safe artifact emission -------------------------------------------
+
+/// Write-temp-then-rename file emission: the target either keeps its old
+/// content or atomically becomes the new content -- a crash mid-write can
+/// never leave a torn or half-parsed artifact. Open failure leaves the
+/// object false-y; commit() flushes, fsyncs and renames.
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path);
+  /// Discards the temp file when not committed (the crash-simulation path
+  /// the tests drive: destruction without commit leaves the target intact).
+  ~AtomicFile();
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  [[nodiscard]] explicit operator bool() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] std::FILE* handle() noexcept { return file_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const std::string& temp_path() const noexcept { return temp_; }
+
+  /// Flush + fsync + rename over the target. Returns false (and removes the
+  /// temp file) on failure; true exactly once.
+  [[nodiscard]] bool commit();
+
+ private:
+  std::string path_;
+  std::string temp_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Atomically replace `path` with `content` (AtomicFile under the hood).
+/// Throws std::runtime_error on failure.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Move a damaged artifact aside as `path + ".corrupt"` so the next write
+/// starts clean (quarantine-on-load). Returns the quarantine path, or an
+/// empty string when the rename failed.
+[[nodiscard]] std::string quarantine_file(const std::string& path);
+
+}  // namespace bine::fault

@@ -60,7 +60,54 @@ Runner::Runner(net::SystemProfile profile, bool spread_placement, u64 seed)
     : profile_(std::move(profile)),
       spread_placement_(spread_placement),
       seed_(seed),
-      use_schedule_cache_(schedule_cache_default()) {}
+      use_schedule_cache_(schedule_cache_default()) {
+  // Fault model: profile-attached spec wins; otherwise BINE_FAULT_SPEC lets
+  // the CI fault-injection job degrade every Runner in a process without
+  // touching call sites. Trivial specs are dropped here, so every fault
+  // branch below keys off a single null check -- the zero-fault parity
+  // contract (a trivial spec is bit-identical to no spec).
+  auto spec = profile_.faults ? profile_.faults : fault::spec_from_env();
+  if (spec && !spec->trivial()) {
+    spec->validate();
+    fault_ = std::move(spec);
+  }
+}
+
+i64 Runner::effective_ranks(i64 nodes) const {
+  if (!fault_ || !fault_->has_failed_ranks()) return nodes;
+  const i64 p = fault_->survivor_count(nodes);
+  if (p < 2)
+    throw std::runtime_error("fault spec leaves fewer than 2 surviving ranks of " +
+                             std::to_string(nodes));
+  return p;
+}
+
+std::vector<std::string> Runner::degrade_notes() const {
+  const std::scoped_lock lock(notes_mutex_);
+  return degrade_notes_;
+}
+
+const coll::AlgorithmEntry& Runner::resolve_algorithm(Collective coll,
+                                                      const coll::AlgorithmEntry& algo,
+                                                      i64 p_effective, i64 size_bytes) {
+  if (!fault_ || !fault_->has_failed_ranks()) return algo;
+  if (!algo.pow2_only || is_pow2(p_effective)) return algo;
+  // The algorithm cannot shrink to the surviving rank count: demote to the
+  // paper's heuristic recommendation (which honours the pow2 gates) and say
+  // so once per (algorithm, p) instead of letting the generator throw.
+  const auto& fallback =
+      coll::recommended_algorithm(coll, p_effective, std::max<i64>(size_bytes, 1));
+  std::string note = std::string("fault degrade: ") + to_string(coll) + "/" + algo.name +
+                     " cannot run over " + std::to_string(p_effective) +
+                     " survivors; demoted to " + fallback.name;
+  {
+    const std::scoped_lock lock(notes_mutex_);
+    if (std::find(degrade_notes_.begin(), degrade_notes_.end(), note) ==
+        degrade_notes_.end())
+      degrade_notes_.push_back(std::move(note));
+  }
+  return fallback;
+}
 
 Runner::Sized& Runner::sized_for(i64 nodes) {
   const std::scoped_lock lock(cache_mutex_);
@@ -83,15 +130,30 @@ Runner::Sized& Runner::sized_for(i64 nodes) {
   } else {
     sized.placement = net::Placement::identity(nodes);
   }
+  if (fault_ && fault_->has_failed_ranks()) {
+    // Graceful degradation: failed ranks leave the job. Survivors keep their
+    // nodes and renumber densely (the rank remap the shrunk communicator
+    // runs on), so the machine instance has effective_ranks(nodes) ranks.
+    std::vector<i64> surviving;
+    surviving.reserve(sized.placement.node_of_rank.size());
+    for (Rank r = 0; r < nodes; ++r)
+      if (!fault_->rank_failed(r))
+        surviving.push_back(sized.placement.node_of_rank[static_cast<size_t>(r)]);
+    if (static_cast<i64>(surviving.size()) < 2)
+      throw std::runtime_error("fault spec leaves fewer than 2 surviving ranks of " +
+                               std::to_string(nodes));
+    sized.placement.node_of_rank = std::move(surviving);
+  }
   sized.routes = std::make_unique<net::RouteCache>(*sized.topo, sized.placement);
+  if (fault_ && fault_->degrades_links()) sized.routes->degrade(*fault_);
   return cache_.emplace(nodes, std::move(sized)).first->second;
 }
 
 coll::Config Runner::cell_config(i64 nodes, i64 size_bytes, i64 elem_size) const {
   coll::Config cfg;
-  cfg.p = nodes;
+  cfg.p = effective_ranks(nodes);
   cfg.elem_size = elem_size;  // default 4: 32-bit ints, the paper's methodology
-  cfg.elem_count = std::max<i64>(nodes, size_bytes / cfg.elem_size);
+  cfg.elem_count = std::max<i64>(cfg.p, size_bytes / cfg.elem_size);
   cfg.torus_dims = torus_dims;
   return cfg;
 }
@@ -112,8 +174,11 @@ std::shared_ptr<const sched::SizeFreeSchedule> Runner::cached_entry(
     Collective coll, const coll::AlgorithmEntry& algo, const coll::Config& cfg) {
   if (!use_schedule_cache_) return nullptr;
   // Transparent view key: a hit performs no string/vector copies and takes
-  // only a shared lock inside the cache.
-  const sched::ScheduleKeyView key(coll, algo.name, cfg.p, cfg.root, cfg.torus_dims);
+  // only a shared lock inside the cache. The fault epoch (spec fingerprint;
+  // 0 = healthy) partitions the shared table so a changed fault model can
+  // never be served entries cached under another machine state.
+  const sched::ScheduleKeyView key(coll, algo.name, cfg.p, cfg.root, cfg.torus_dims,
+                                   fault_ ? fault_->fingerprint() : 0);
   auto entry = sched_cache_->get(key, [&](i64 canonical_elems) {
     // Called at the cache's two canonical verification sizes on a miss.
     coll::Config build_cfg = cfg;
@@ -125,9 +190,10 @@ std::shared_ptr<const sched::SizeFreeSchedule> Runner::cached_entry(
   return entry;
 }
 
-RunResult Runner::run(Collective coll, const coll::AlgorithmEntry& algo, i64 nodes,
+RunResult Runner::run(Collective coll, const coll::AlgorithmEntry& algo_in, i64 nodes,
                       i64 size_bytes) {
   const coll::Config cfg = cell_config(nodes, size_bytes);
+  const coll::AlgorithmEntry& algo = resolve_algorithm(coll, algo_in, cfg.p, size_bytes);
   if (auto entry = cached_entry(coll, algo, cfg)) {
     Sized& sized = sized_for(nodes);
     // Per-worker scratch: resolving into resident arrays avoids re-mmapping
@@ -140,10 +206,11 @@ RunResult Runner::run(Collective coll, const coll::AlgorithmEntry& algo, i64 nod
   return run_uncached(coll, algo, nodes, size_bytes);
 }
 
-runtime::ExecPlan Runner::exec_plan(Collective coll, const coll::AlgorithmEntry& algo,
+runtime::ExecPlan Runner::exec_plan(Collective coll, const coll::AlgorithmEntry& algo_in,
                                     i64 nodes, i64 size_bytes, bool* used_cache,
                                     i64 elem_size) {
   const coll::Config cfg = cell_config(nodes, size_bytes, elem_size);
+  const coll::AlgorithmEntry& algo = resolve_algorithm(coll, algo_in, cfg.p, size_bytes);
   if (used_cache) *used_cache = false;
   if (auto entry = cached_entry(coll, algo, cfg)) {
     if (used_cache) *used_cache = true;
@@ -219,7 +286,12 @@ VerifiedRun Runner::run_verified_impl(Collective coll, const coll::AlgorithmEntr
     const runtime::ExecPlan plan = exec_plan(coll, algo, nodes, size_bytes,
                                              &out.used_cache, static_cast<i64>(sizeof(T)));
     const auto inputs = synthetic_inputs<T>(plan.p, plan.elem_count);
-    const auto res = runtime::execute<T>(plan, op, inputs, threads);
+    // Executor injection hook: only a spec with drop/corrupt probabilities
+    // is passed through; the resulting damage surfaces as a verify failure
+    // or an executor throw, both reported as a not-ok VerifiedRun below.
+    const fault::FaultSpec* inject =
+        fault_ && fault_->has_exec_injection() ? fault_.get() : nullptr;
+    const auto res = runtime::execute<T>(plan, op, inputs, threads, inject);
     out.messages = res.messages;
     out.wire_bytes = res.wire_bytes;
     out.error = runtime::verify<T>(plan, op, inputs, res);
@@ -275,10 +347,10 @@ void Runner::use_private_schedule_cache() {
   sched_cache_ = private_cache_.get();
 }
 
-RunResult Runner::run_uncached([[maybe_unused]] Collective coll,
-                               const coll::AlgorithmEntry& algo, i64 nodes,
-                               i64 size_bytes) {
+RunResult Runner::run_uncached(Collective coll, const coll::AlgorithmEntry& algo_in,
+                               i64 nodes, i64 size_bytes) {
   const coll::Config cfg = cell_config(nodes, size_bytes);
+  const coll::AlgorithmEntry& algo = resolve_algorithm(coll, algo_in, cfg.p, size_bytes);
   const sched::Schedule sch = algo.make(cfg);
   Sized& sized = sized_for(nodes);
   sched::CompiledSchedule& lowered = thread_lowered_scratch();
@@ -293,7 +365,7 @@ std::pair<std::string, RunResult> Runner::best_of(Collective coll,
   best.second.seconds = std::numeric_limits<double>::infinity();
   for (const std::string& name : names) {
     const auto& entry = coll::find_algorithm(coll, name);
-    if (entry.pow2_only && !is_pow2(nodes)) continue;
+    if (!applicable(entry, nodes)) continue;
     const RunResult r = run(coll, entry, nodes, size_bytes);
     if (r.seconds < best.second.seconds) best = {name, r};
   }
@@ -397,7 +469,7 @@ std::vector<std::pair<std::string, RunResult>> Runner::sweep(
         std::vector<std::optional<RunResult>> evaluated(cell.names.size());
         for (size_t k = 0; k < cell.names.size(); ++k) {
           const auto& entry = coll::find_algorithm(cell.coll, cell.names[k]);
-          if (entry.pow2_only && !is_pow2(cell.nodes)) continue;
+          if (!applicable(entry, cell.nodes)) continue;
           evaluated[k] = run(cell.coll, entry, cell.nodes, cell.size_bytes);
         }
         // Answer each query by minimizing over its own candidate list in its

@@ -10,6 +10,7 @@
 
 #include "alloc/allocation.hpp"
 #include "coll/registry.hpp"
+#include "fault/fault.hpp"
 #include "net/profiles.hpp"
 #include "net/route_cache.hpp"
 #include "runtime/exec_plan.hpp"
@@ -95,6 +96,31 @@ class Runner {
   Runner(net::SystemProfile profile, bool spread_placement = true, u64 seed = 42);
 
   [[nodiscard]] const net::SystemProfile& profile() const { return profile_; }
+
+  /// The active fault model: the profile's spec, else one parsed from the
+  /// BINE_FAULT_SPEC environment variable at construction. Null when absent
+  /// OR trivial -- the fault-free path never consults the layer, which keeps
+  /// it bit-identical to a build without one. Non-null implies validated.
+  [[nodiscard]] const fault::FaultSpec* fault_spec() const { return fault_.get(); }
+
+  /// Communicator size of a cell allocated `nodes` nodes: `nodes` on the
+  /// healthy machine, the surviving-rank count when the fault spec marks
+  /// ranks failed (graceful degradation: collectives rebuild over survivors
+  /// via a dense rank remap). Throws when fewer than 2 ranks survive.
+  [[nodiscard]] i64 effective_ranks(i64 nodes) const;
+
+  /// Rank-count admission for one algorithm at `nodes` allocated nodes,
+  /// evaluated against the *effective* communicator size. The gate the
+  /// best-of selectors and sweeps use to skip inapplicable candidates.
+  [[nodiscard]] bool applicable(const coll::AlgorithmEntry& algo, i64 nodes) const {
+    return !algo.pow2_only || is_pow2(effective_ranks(nodes));
+  }
+
+  /// Degradation substitutions recorded so far: one deduplicated note per
+  /// (algorithm, p) whose generator cannot shrink to the surviving rank
+  /// count and was demoted to the heuristic recommendation -- the "clear
+  /// report instead of a crash" contract. Empty on the healthy machine.
+  [[nodiscard]] std::vector<std::string> degrade_notes() const;
 
   /// Simulate one algorithm; `size_bytes` is the collective's vector size.
   /// Uses the schedule cache (below) unless disabled.
@@ -228,11 +254,21 @@ class Runner {
   [[nodiscard]] std::shared_ptr<const sched::SizeFreeSchedule> cached_entry(
       sched::Collective coll, const coll::AlgorithmEntry& algo, const coll::Config& cfg);
 
+  /// Graceful-degradation resolution: `algo` itself on the healthy machine
+  /// or when it admits the surviving rank count; otherwise the heuristic
+  /// recommendation for the cell, with a deduplicated note recorded.
+  [[nodiscard]] const coll::AlgorithmEntry& resolve_algorithm(
+      sched::Collective coll, const coll::AlgorithmEntry& algo, i64 p_effective,
+      i64 size_bytes);
+
   net::SystemProfile profile_;
   bool spread_placement_;
   u64 seed_;
+  std::shared_ptr<const fault::FaultSpec> fault_;  ///< null or non-trivial
   std::mutex cache_mutex_;
   std::map<i64, Sized> cache_;
+  mutable std::mutex notes_mutex_;
+  std::vector<std::string> degrade_notes_;
   bool use_schedule_cache_ = true;
   sched::ScheduleCache* sched_cache_ = &sched::process_schedule_cache();
   std::unique_ptr<sched::ScheduleCache> private_cache_;

@@ -8,6 +8,10 @@
 #include "net/simulate.hpp"
 #include "net/topology.hpp"
 
+namespace bine::fault {
+struct FaultSpec;
+}
+
 /// Parameter sets approximating the four systems of Table 2. Absolute
 /// numbers are indicative; what the reproduction needs is the *structure*:
 /// oversubscription ratios, locality tiers, and per-direction torus links.
@@ -19,6 +23,13 @@ struct SystemProfile {
   CostParams cost;
   /// Build a topology instance sized for >= `nodes` endpoints.
   std::function<std::unique_ptr<Topology>(i64 nodes)> build;
+  /// Optional fault model (fault/fault.hpp): degraded/dead links, failed
+  /// ranks, lossy deliveries. Null or trivial = the healthy machine, and the
+  /// evaluation pipeline is bit-identical to a profile without the field.
+  /// harness::Runner honours it when building machine instances; a
+  /// non-trivial spec is mixed into tune::profile_fingerprint so decision
+  /// tables tuned on a degraded model never serve the healthy one.
+  std::shared_ptr<const fault::FaultSpec> faults;
 };
 
 /// LUMI: Slingshot Dragonfly, 24 groups x 124 nodes; 200 Gb/s NICs;

@@ -1,5 +1,7 @@
 #include "net/route_cache.hpp"
 
+#include "fault/fault.hpp"
+
 namespace bine::net {
 
 namespace {
@@ -71,6 +73,23 @@ RouteCache::RouteCache(const Topology& topo, const Placement& pl,
   for (const auto& [s, d] : scoped_keys_) {
     assert(s >= 0 && s < p_ && d >= 0 && d < p_);
     route_one(topo, pl, s, d, path);
+  }
+}
+
+void RouteCache::degrade(const fault::FaultSpec& spec) {
+  for (size_t l = 0; l < inv_bandwidth_.size(); ++l) {
+    if (spec.link_dead(static_cast<i64>(l))) {
+      inv_bandwidth_[l] = 1.0 / spec.dead_link_bandwidth;
+      continue;
+    }
+    double factor = 1.0;
+    switch (link_class_[l]) {
+      case LinkClass::local: factor = spec.degrade_local; break;
+      case LinkClass::global: factor = spec.degrade_global; break;
+      case LinkClass::intra_node: factor = spec.degrade_intra_node; break;
+    }
+    // bw' = bw * factor, stored inverted: inv' = inv / factor.
+    if (factor != 1.0) inv_bandwidth_[l] /= factor;
   }
 }
 

@@ -10,6 +10,10 @@
 #include "core/types.hpp"
 #include "net/topology.hpp"
 
+namespace bine::fault {
+struct FaultSpec;
+}
+
 /// Compiled routing tables: the hot-path replacement for per-message virtual
 /// `Topology::route()` calls.
 ///
@@ -107,6 +111,14 @@ class RouteCache {
   [[nodiscard]] std::span<const LinkClass> link_class() const noexcept {
     return link_class_;
   }
+
+  /// Apply a fault spec to the compiled inverse-bandwidth column: each link's
+  /// class degradation factor divides its bandwidth, and dead links (listed
+  /// or seeded-sampled) drop to the spec's residual dead_link_bandwidth --
+  /// simulated times over them become finite but enormous, so selection
+  /// routes around the outage. Idempotence is NOT guaranteed; callers apply
+  /// it exactly once, right after the build (harness::Runner does).
+  void degrade(const fault::FaultSpec& spec);
 
  private:
   static constexpr size_t kNotRouted = static_cast<size_t>(-1);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "harness/parallel.hpp"
 #include "runtime/exec_plan.hpp"
 #include "runtime/executor.hpp"
@@ -50,6 +51,17 @@ inline constexpr i64 kExecAutoThreadBytes = i64{1} << 20;
   return vector_bytes >= kExecAutoThreadBytes ? harness::default_thread_count() : 1;
 }
 
+/// Flip the low bit of one element's byte representation (the executor's
+/// corruption injection): a single-bit payload error, type-agnostic, that the
+/// postcondition verifier is guaranteed to see as a data mismatch.
+template <typename T>
+inline void corrupt_low_bit(T& v) noexcept {
+  unsigned char b = 0;
+  std::memcpy(&b, &v, 1);
+  b ^= 1u;
+  std::memcpy(&v, &b, 1);
+}
+
 template <typename T>
 struct CompiledExecResult {
   const ExecPlan* plan = nullptr;     ///< borrowed; must outlive the result
@@ -89,11 +101,26 @@ class CompiledExecutor {
   /// `threads == 1` is fully sequential; otherwise phases fan out over
   /// harness::parallel_for. Throws std::runtime_error on semantic
   /// violations, like the reference.
+  ///
+  /// `faults`, when non-null with exec injection enabled, is the fault
+  /// layer's delivery hook: a delivery whose seeded (step, plan index) hash
+  /// samples below drop_fraction is silently discarded (the receiver's slot
+  /// keeps its pre-step content -- later ops either read stale data the
+  /// verifier flags or hit an invalid slot and throw), and one below
+  /// corrupt_fraction lands with the low bit of its first payload element
+  /// flipped. Decisions are keyed by plan indices, so injection is
+  /// bit-deterministic for any thread count; harness::Runner::run_verified
+  /// provably reports the damage as a not-ok VerifiedRun.
   template <typename T>
   [[nodiscard]] CompiledExecResult<T> run(ReduceOp op,
                                           std::span<const std::vector<T>> inputs,
-                                          i64 threads = 0) const {
+                                          i64 threads = 0,
+                                          const fault::FaultSpec* faults = nullptr) const {
     const ExecPlan& pl = *plan_;
+    // Only a spec with injection probabilities takes any branch below; a
+    // null/degradation-only spec leaves every step bit-identical.
+    const fault::FaultSpec* inject =
+        (faults != nullptr && faults->has_exec_injection()) ? faults : nullptr;
     if (threads <= 0)
       threads = auto_exec_threads(pl.elem_count * static_cast<i64>(sizeof(T)));
     if (static_cast<i64>(inputs.size()) != pl.p)
@@ -173,6 +200,8 @@ class CompiledExecutor {
         const std::uint32_t run = rb + static_cast<std::uint32_t>(rr);
         for (std::uint32_t j = pl.run_begin[run]; j < pl.run_begin[run + 1]; ++j) {
           if (pl.fused[j]) continue;  // applied pairwise in the fused pass
+          if (inject && inject->drop_delivery(t, j)) continue;  // lost on the wire
+          bool corrupt_pending = inject && inject->corrupt_delivery(t, j);
           const i64 r = pl.to[j];
           const i64 sender = pl.from[j];
           const bool is_direct = pl.direct[j] != 0;
@@ -219,6 +248,10 @@ class CompiledExecutor {
                              {src, static_cast<size_t>(len)});
               for (i64 w = 0; w < pl.words; ++w) dst_c[w] |= src_c[w];
             }
+            if (corrupt_pending && len > 0) {  // one-bit payload error
+              corrupt_low_bit(dst[0]);
+              corrupt_pending = false;
+            }
             elem_off += len;
             ++block_off;
           }
@@ -234,6 +267,11 @@ class CompiledExecutor {
         const std::uint32_t pair = fb + static_cast<std::uint32_t>(pp);
         const std::uint32_t j1 = pl.fused_pair[2 * pair];
         const std::uint32_t j2 = pl.fused_pair[2 * pair + 1];
+        // Injection keys off the pair's first delivery: dropping loses the
+        // whole symmetric exchange (neither side folds), corruption lands on
+        // the j1 receiver's side.
+        if (inject && inject->drop_delivery(t, j1)) return;
+        bool corrupt_pending = inject && inject->corrupt_delivery(t, j1);
         const i64 r = pl.to[j1];
         const i64 s = pl.to[j2];
         T* rdata = res.data.data() +
@@ -263,6 +301,10 @@ class CompiledExecutor {
           const size_t off = static_cast<size_t>(pl.block_off[static_cast<size_t>(id)]);
           reduce_symmetric<T>(op, {rdata + off, static_cast<size_t>(len)},
                               {sdata + off, static_cast<size_t>(len)});
+          if (corrupt_pending && len > 0) {
+            corrupt_low_bit(rdata[off]);
+            corrupt_pending = false;
+          }
           for (i64 w = 0; w < pl.words; ++w) {
             const u64 merged = rc[w] | sc[w];
             rc[w] = merged;
@@ -340,14 +382,15 @@ class CompiledExecutor {
 template <typename T>
 [[nodiscard]] CompiledExecResult<T> execute(const ExecPlan& plan, ReduceOp op,
                                             std::span<const std::vector<T>> inputs,
-                                            i64 threads = 0) {
-  return CompiledExecutor(plan).run<T>(op, inputs, threads);
+                                            i64 threads = 0,
+                                            const fault::FaultSpec* faults = nullptr) {
+  return CompiledExecutor(plan).run<T>(op, inputs, threads, faults);
 }
 
 /// The result aliases the plan; a temporary plan would dangle before the
 /// first accessor runs. Keep the plan in a named variable.
 template <typename T>
 CompiledExecResult<T> execute(ExecPlan&&, ReduceOp, std::span<const std::vector<T>>,
-                              i64 = 0) = delete;
+                              i64 = 0, const fault::FaultSpec* = nullptr) = delete;
 
 }  // namespace bine::runtime

@@ -137,13 +137,18 @@ struct SizeFreeSchedule {
 
 /// Key of one memoized schedule: the registry algorithm name plus every
 /// Config knob that shapes structure. elem_count/elem_size are deliberately
-/// absent -- that is the point of the cache.
+/// absent -- that is the point of the cache. `fault_epoch` partitions the
+/// table by fault model (fault::FaultSpec::fingerprint(); 0 = healthy): a
+/// Runner whose fault spec changes -- or two Runners with different specs in
+/// one process -- can never be served a schedule cached under another
+/// machine state, and the fault-free key is unchanged.
 struct ScheduleKey {
   Collective coll{};
   std::string algorithm;
   i64 p = 0;
   Rank root = 0;
   std::vector<i64> torus_dims;
+  u64 fault_epoch = 0;
 };
 
 /// Non-owning view of a ScheduleKey, so the cache hit path can look an entry
@@ -156,18 +161,20 @@ struct ScheduleKeyView {
   i64 p = 0;
   Rank root = 0;
   std::span<const i64> torus_dims;
+  u64 fault_epoch = 0;
 
   ScheduleKeyView() = default;
   ScheduleKeyView(Collective c, std::string_view algo, i64 ranks, Rank rt,
-                  std::span<const i64> dims)
-      : coll(c), algorithm(algo), p(ranks), root(rt), torus_dims(dims) {}
+                  std::span<const i64> dims, u64 epoch = 0)
+      : coll(c), algorithm(algo), p(ranks), root(rt), torus_dims(dims),
+        fault_epoch(epoch) {}
   ScheduleKeyView(const ScheduleKey& k)  // NOLINT(google-explicit-constructor)
       : coll(k.coll), algorithm(k.algorithm), p(k.p), root(k.root),
-        torus_dims(k.torus_dims) {}
+        torus_dims(k.torus_dims), fault_epoch(k.fault_epoch) {}
 
   [[nodiscard]] ScheduleKey materialize() const {
     return {coll, std::string(algorithm), p, root,
-            std::vector<i64>(torus_dims.begin(), torus_dims.end())};
+            std::vector<i64>(torus_dims.begin(), torus_dims.end()), fault_epoch};
   }
 };
 
@@ -179,6 +186,7 @@ struct ScheduleKeyLess {
     if (a.coll != b.coll) return a.coll < b.coll;
     if (a.p != b.p) return a.p < b.p;
     if (a.root != b.root) return a.root < b.root;
+    if (a.fault_epoch != b.fault_epoch) return a.fault_epoch < b.fault_epoch;
     if (const int c = a.algorithm.compare(b.algorithm); c != 0) return c < 0;
     return std::lexicographical_compare(a.torus_dims.begin(), a.torus_dims.end(),
                                         b.torus_dims.begin(), b.torus_dims.end());

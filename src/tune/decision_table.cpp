@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/fnv.hpp"
+#include "fault/fault.hpp"
 #include "tune/json.hpp"
 
 namespace bine::tune {
@@ -71,6 +72,13 @@ u64 profile_fingerprint(const net::SystemProfile& profile) {
     static_assert(sizeof(bits) == sizeof(d));
     std::memcpy(&bits, &d, sizeof(bits));
     core::fnv_mix_bytes(h, &bits, sizeof(bits));
+  }
+  // A degraded machine is a different machine: winners tuned under a fault
+  // spec must never serve the healthy profile (or vice versa). Trivial/absent
+  // specs contribute nothing, keeping fault-free fingerprints stable.
+  if (profile.faults && !profile.faults->trivial()) {
+    const u64 ffp = profile.faults->fingerprint();
+    core::fnv_mix_bytes(h, &ffp, sizeof(ffp));
   }
   return h;
 }
@@ -222,10 +230,7 @@ DecisionTable DecisionTable::parse(std::string_view text, LoadReport* report) {
 }
 
 void DecisionTable::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("decision table: cannot write '" + path + "'");
-  out << dump();
-  if (!out) throw std::runtime_error("decision table: write failed for '" + path + "'");
+  fault::write_file_atomic(path, dump());
 }
 
 DecisionTable DecisionTable::load(const std::string& path, LoadReport* report) {
@@ -234,6 +239,30 @@ DecisionTable DecisionTable::load(const std::string& path, LoadReport* report) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return parse(buf.str(), report);
+}
+
+std::optional<DecisionTable> DecisionTable::load_or_quarantine(const std::string& path,
+                                                               LoadReport* report) {
+  LoadReport local;
+  LoadReport& rep = report ? *report : local;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    rep.notes.push_back("no decision table at '" + path + "'");
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  in.close();
+  try {
+    return parse(buf.str(), &rep);
+  } catch (const std::exception& e) {
+    const std::string aside = fault::quarantine_file(path);
+    rep.notes.push_back("quarantined corrupt table '" + path + "'" +
+                        (aside.empty() ? std::string(" (quarantine rename failed)")
+                                       : " as '" + aside + "'") +
+                        ": " + e.what());
+    return std::nullopt;
+  }
 }
 
 Selection select(const DecisionTable& table, const net::SystemProfile& profile,

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,7 +41,10 @@ inline constexpr i64 kNoUpperBound = std::numeric_limits<i64>::max();
 
 /// Stable fingerprint of the machine model a table was tuned for: profile
 /// name, description (which encodes the topology shape, e.g. the Fugaku
-/// sub-torus dims) and the cost-model parameters' exact bit patterns.
+/// sub-torus dims) and the cost-model parameters' exact bit patterns. A
+/// non-trivial fault spec attached to the profile is mixed in too -- winners
+/// tuned on a degraded machine must never silently serve the healthy one --
+/// while fault-free profiles fingerprint exactly as before the fault layer.
 [[nodiscard]] u64 profile_fingerprint(const net::SystemProfile& profile);
 
 /// One piece of a cell's size axis: [lo_bytes, hi_bytes) -> algorithm.
@@ -107,9 +111,21 @@ class DecisionTable {
   [[nodiscard]] static DecisionTable parse(std::string_view text,
                                            LoadReport* report = nullptr);
 
+  /// Crash-safe save: write-temp-then-rename (fault::write_file_atomic), so
+  /// a kill mid-write leaves the previous table intact, never a torn file.
   void save(const std::string& path) const;
   [[nodiscard]] static DecisionTable load(const std::string& path,
                                           LoadReport* report = nullptr);
+
+  /// Defensive load: a file that fails to parse/validate is *quarantined* --
+  /// renamed aside as `path + ".corrupt"` with a LoadReport note -- and
+  /// nullopt returned, so callers fall back to tuning (tune-on-miss repairs)
+  /// instead of failing hard. A missing file is also nullopt (with a note),
+  /// distinguishing "no artifact yet" from damage. Only I/O errors that
+  /// leave the file in place (e.g. unreadable permissions on the rename)
+  /// still throw.
+  [[nodiscard]] static std::optional<DecisionTable> load_or_quarantine(
+      const std::string& path, LoadReport* report = nullptr);
 
   friend bool operator==(const DecisionTable&, const DecisionTable&) = default;
 

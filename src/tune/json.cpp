@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -114,6 +115,9 @@ struct Parser {
       v.number = static_cast<double>(v.integer);
     } else {
       v.number = std::strtod(std::string(tok).c_str(), nullptr);
+      // strtod saturates overflowing literals (e.g. 1e999) to +-inf; a
+      // non-finite value in an artifact is damage, never a tuning result.
+      if (!std::isfinite(v.number)) fail("non-finite number");
     }
     return v;
   }
@@ -131,6 +135,10 @@ struct Parser {
       for (;;) {
         skip_ws();
         std::string key = parse_string();
+        // Duplicate keys make find() order-dependent -- which copy wins would
+        // be silent; our emitters never produce them, so reject outright.
+        for (const auto& [k, unused] : v.members)
+          if (k == key) fail("duplicate object key '" + key + "'");
         skip_ws();
         expect(':');
         v.members.emplace_back(std::move(key), parse_value(depth + 1));

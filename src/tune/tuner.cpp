@@ -130,7 +130,8 @@ std::vector<SizeInterval> Tuner::tune_cell(harness::Runner& runner, Collective c
 
 DecisionTable Tuner::build(const std::vector<net::SystemProfile>& profiles,
                            const std::vector<Collective>& colls,
-                           const std::vector<i64>& node_counts) const {
+                           const std::vector<i64>& node_counts,
+                           BuildReport* report) const {
   DecisionTable table;
   for (const net::SystemProfile& profile : profiles) {
     const u64 fp = profile_fingerprint(profile);
@@ -162,17 +163,43 @@ DecisionTable Tuner::build(const std::vector<net::SystemProfile>& profiles,
   plan.colls = colls;
   plan.nodes.counts = node_counts;
   plan.threads = options_.threads;
+  // Failure discipline: tolerate_failed_cells -> isolate-and-exclude (the
+  // self-healing build), else the pre-fault-layer propagate contract.
+  plan.on_error = options_.tolerate_failed_cells ? exp::SweepPlan::OnError::isolate
+                                                 : exp::SweepPlan::OnError::propagate;
+  plan.transient_retries = options_.transient_retries;
+  plan.retry_backoff_ms = options_.retry_backoff_ms;
 
   const std::vector<exp::CellRef> cells = exp::enumerate_cells(plan);
   std::vector<std::vector<SizeInterval>> results(cells.size());
-  exp::run_cells(plan,
-                 [&](size_t i, const exp::CellRef& cell, harness::Runner& runner) {
-                   results[i] = tune_cell(runner, cell.coll, cell.p);
-                 });
+  const std::vector<exp::CellFailure> failures = exp::run_cells(
+      plan, [&](size_t i, const exp::CellRef& cell, harness::Runner& runner) {
+        results[i] = tune_cell(runner, cell.coll, cell.p);
+      });
+  if (!failures.empty() && failures.size() == cells.size())
+    throw std::runtime_error("tuner: every cell failed; first: " +
+                             failures.front().error.message);
 
-  for (size_t i = 0; i < cells.size(); ++i)
+  // Failed cells are excluded with a note (LoadReport-style): the table
+  // simply has no entry, so consumers fall through to their MissPolicy.
+  std::vector<bool> failed(cells.size(), false);
+  for (const exp::CellFailure& f : failures) failed[f.index] = true;
+  BuildReport local;
+  BuildReport& rep = report ? *report : local;
+  for (const exp::CellFailure& f : failures) {
+    ++rep.failed_cells;
+    rep.notes.push_back(
+        "excluded cell " + profiles[f.cell.system].name + "/" +
+        std::string(to_string(f.cell.coll)) + " p=" + std::to_string(f.cell.p) +
+        " after " + std::to_string(f.error.attempts) + " attempt(s): " +
+        f.error.message);
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (failed[i]) continue;
     table.set_cell(CellKey{profiles[cells[i].system].name, cells[i].coll, cells[i].p},
                    std::move(results[i]));
+    ++rep.cells;
+  }
   return table;
 }
 

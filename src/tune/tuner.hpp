@@ -54,6 +54,25 @@ struct TunerOptions {
   /// faithful; TunedRunner uses the same defaults).
   bool spread_placement = true;
   u64 seed = 42;
+  /// Self-healing builds: a cell whose work item still throws after retries
+  /// is *excluded* from the table with a BuildReport note (LoadReport-style)
+  /// instead of aborting the whole build; consumers then treat the cell as
+  /// never tuned (MissPolicy applies). A build where EVERY cell fails still
+  /// throws. Default off: build() propagates the first failure, exactly the
+  /// pre-fault-layer contract.
+  bool tolerate_failed_cells = false;
+  /// Bounded deterministic retry for failures classified transient
+  /// (fault::TransientError), with doubling backoff (0 ms = no sleep).
+  i64 transient_retries = 0;
+  i64 retry_backoff_ms = 0;
+};
+
+/// What build() did: cell counts plus one note per excluded cell (only ever
+/// non-empty under TunerOptions::tolerate_failed_cells).
+struct BuildReport {
+  i64 cells = 0;         ///< cells tuned into the table
+  i64 failed_cells = 0;  ///< cells excluded after exhausting retries
+  std::vector<std::string> notes;
 };
 
 class Tuner {
@@ -67,10 +86,13 @@ class Tuner {
   /// be unique. Cell enumeration and sharding delegate to the sweep
   /// engine's planner (exp::enumerate_cells / exp::run_cells): one work item
   /// per deduplicated cell, sharded across `options().threads`, every
-  /// Runner sharing the process-wide schedule cache.
+  /// Runner sharing the process-wide schedule cache. `report`, when given,
+  /// receives cell counts and the exclusion notes of any failed cells
+  /// (see TunerOptions::tolerate_failed_cells).
   [[nodiscard]] DecisionTable build(const std::vector<net::SystemProfile>& profiles,
                                     const std::vector<sched::Collective>& colls,
-                                    const std::vector<i64>& node_counts) const;
+                                    const std::vector<i64>& node_counts,
+                                    BuildReport* report = nullptr) const;
 
   /// Tune one cell with a caller-provided Runner (the tune-on-miss path and
   /// build()'s per-cell work item). Deterministic; throws if no candidate

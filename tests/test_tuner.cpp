@@ -377,6 +377,29 @@ TEST(TuneJson, ParserRejectsMalformedDocuments) {
   EXPECT_THROW((void)tune::json::Value::parse("{} garbage"), std::runtime_error);
   EXPECT_THROW((void)tune::json::Value::parse(R"({"a": 01x})"), std::runtime_error);
   EXPECT_THROW((void)tune::json::Value::parse(R"("unterminated)"), std::runtime_error);
+  // Truncations at every structural boundary.
+  EXPECT_THROW((void)tune::json::Value::parse(R"({"a")"), std::runtime_error);
+  EXPECT_THROW((void)tune::json::Value::parse(R"({"a":)"), std::runtime_error);
+  EXPECT_THROW((void)tune::json::Value::parse(R"({"a": [1,)"), std::runtime_error);
+  EXPECT_THROW((void)tune::json::Value::parse(R"({"a": "x\)"), std::runtime_error);
+  EXPECT_THROW((void)tune::json::Value::parse(R"({"a": "\u00)"), std::runtime_error);
+  EXPECT_THROW((void)tune::json::Value::parse("tru"), std::runtime_error);
+  // Duplicate keys would make find() order-dependent; rejected outright.
+  EXPECT_THROW((void)tune::json::Value::parse(R"({"a": 1, "a": 2})"),
+               std::runtime_error);
+  // Overflowing literals saturate to infinity in strtod; non-finite numbers
+  // are damage, not data.
+  EXPECT_THROW((void)tune::json::Value::parse(R"({"a": 1e999})"), std::runtime_error);
+  EXPECT_THROW((void)tune::json::Value::parse(R"({"a": -1.5e999})"),
+               std::runtime_error);
+  // Failures carry the byte position (the "position-bearing" contract).
+  try {
+    (void)tune::json::Value::parse(R"({"k": 1, "k": 2})");
+    FAIL() << "duplicate key accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos) << e.what();
+  }
   const tune::json::Value v =
       tune::json::Value::parse(R"({"a": [1, -2.5, "x\n", true, null]})");
   const auto& arr = v.at("a", "doc").as_array("a");
