@@ -4,9 +4,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "harness/cancel.hpp"
 #include "harness/runner.hpp"
 #include "tune/decision_table.hpp"
 
@@ -119,6 +121,10 @@ struct Metrics {
   /// failed=true plus the message in `error`, and the result stays partial
   /// instead of the whole sweep aborting.
   bool failed = false;
+  /// The cell never ran: the plan's CancelToken fired before this cell was
+  /// handed out. A journaled plan re-run with the same journal fills these
+  /// rows in (resume).
+  bool cancelled = false;
   // Backend::execute_verified
   bool ok = false;
   std::string error;
@@ -154,6 +160,10 @@ struct CellCtx {
   i64 nodes = 0;
   i64 size_bytes = 0;
   size_t series = 0;
+  /// The work item's deadline guard (never null inside a metric call): a
+  /// long-running custom metric should checkpoint() at its own internal
+  /// boundaries so SweepPlan::cell_deadline_ms can interrupt it.
+  const harness::CellGuard* guard = nullptr;
 };
 
 struct SweepPlan {
@@ -198,6 +208,39 @@ struct SweepPlan {
   /// attempt (fault::retry_backoff). 0 = no sleeping -- the default, so
   /// deterministic-output plans stay time-independent.
   i64 retry_backoff_ms = 0;
+
+  // --- durable execution -----------------------------------------------------
+  /// When non-empty, the engine journals every completed work item to this
+  /// append-only, fsync'd, checksummed file (exp::Journal) keyed by
+  /// plan_fingerprint(): a killed run, re-executed with the same plan and
+  /// journal path, replays the journaled cells instead of re-measuring them,
+  /// and the resumed SweepResult is byte-identical to an uninterrupted run.
+  /// Damaged journal tails are dropped and quarantined on open. Empty =
+  /// journaling off, bit-identical to the journal-free engine. Rejected
+  /// (std::invalid_argument) for Backend::custom in run() -- an opaque
+  /// metric cannot be fingerprinted, so replay safety cannot be proven
+  /// (run_cells callers own that proof via journal_salt).
+  std::string journal_path;
+  /// Extra state mixed into plan_fingerprint(), for callers whose cell
+  /// results depend on knobs outside the plan (tune::Tuner mixes its
+  /// grid/refinement options so a changed tuner never replays stale cells).
+  u64 journal_salt = 0;
+  /// Per-cell wall-clock budget in milliseconds (0 = none), enforced
+  /// cooperatively at evaluation boundaries (harness::CellGuard): an
+  /// overrunning cell fails with fault::DeadlineExceeded -- classified
+  /// permanent, folded into the OnError::isolate/retry machinery, and marked
+  /// deadline_exceeded on its CellError. Each retry attempt re-arms the full
+  /// budget.
+  i64 cell_deadline_ms = 0;
+  /// Cooperative cancellation: once fired, in-flight cells drain to
+  /// completion (and are journaled), unstarted cells never run and their
+  /// rows come back cancelled, and the result carries cancelled=true --
+  /// partial but resumable via the journal.
+  const harness::CancelToken* cancel = nullptr;
+  /// Progress hook, called (serialized) as each work item completes or
+  /// replays, with (items done so far, total items). The hook runs on worker
+  /// threads -- keep it cheap and reentrancy-free.
+  std::function<void(size_t done, size_t total)> progress;
 };
 
 /// Structured report of one isolated work-item failure: which (system, coll,
@@ -209,6 +252,10 @@ struct CellError {
   std::string message;
   i64 attempts = 1;       ///< total tries, transient retries included
   bool transient = false; ///< classification of the final failure
+  /// The failure was the cell overrunning SweepPlan::cell_deadline_ms
+  /// (fault::DeadlineExceeded) -- its own error kind, so operators can tell
+  /// a stalled cell from a crashed one.
+  bool deadline_exceeded = false;
 };
 
 /// The deterministic, stably-ordered result table: rows in canonical
@@ -227,6 +274,19 @@ struct SweepResult {
   /// a clean run (and always empty under OnError::propagate), so fault-free
   /// JSON output is byte-identical to the pre-fault-layer format.
   std::vector<CellError> errors;
+  /// The plan's CancelToken fired before every cell ran: the result is
+  /// partial (unstarted cells' rows carry Metrics::cancelled) but resumable
+  /// when the plan journals.
+  bool cancelled = false;
+  /// What the durable-execution layer did (only ever non-zero for journaled
+  /// plans). Never serialized: to_json() must stay byte-identical across
+  /// fresh, resumed and journal-off runs.
+  struct JournalStats {
+    i64 replayed = 0;         ///< cells answered from the journal
+    i64 executed = 0;         ///< cells measured by this run
+    i64 dropped_records = 0;  ///< damaged journal records discarded on open
+  };
+  JournalStats journal;
 
   /// Index of a row by axis position (coll_nodes[coll_idx][node_idx]).
   [[nodiscard]] size_t row_index(size_t system, size_t coll_idx, size_t node_idx,
@@ -276,16 +336,62 @@ struct CellFailure {
   CellError error;
 };
 
+/// Stable fingerprint of everything that determines a plan's cell RESULTS --
+/// systems (profile fingerprints + Runner knobs), collectives, series, node
+/// axis, sizes, backend and its knobs, journal_salt -- and nothing that only
+/// determines HOW they are computed (shard width, failure discipline,
+/// deadlines, cancellation, journal path, progress hooks). This is the
+/// exp::Journal key: a resumed run replays a journaled cell exactly when it
+/// would have computed the same bytes. Backend::custom plans hash without
+/// the opaque metric (which is why run() refuses to journal them).
+[[nodiscard]] u64 plan_fingerprint(const SweepPlan& plan);
+
+/// The journal key of one cell: "s<system>.<coll>.p<nodes>".
+[[nodiscard]] std::string cell_key(const CellRef& cell);
+
+/// Caller-supplied payload codec for journaled run_cells: `encode` turns
+/// cell i's completed outcome (err != nullptr when the cell failed under
+/// OnError::isolate) into a journal payload -- return an empty string to
+/// journal nothing for that cell (e.g. failures that should re-run on
+/// resume). `decode` replays a journaled payload into the caller's own
+/// result slot for cell i and returns the journaled failure, if any; a
+/// throw from decode marks the payload stale and the cell re-executes
+/// fresh.
+struct CellCodec {
+  std::function<std::string(size_t, const CellError*)> encode;
+  std::function<std::optional<CellError>(size_t, std::string_view)> decode;
+};
+
+/// What one run_cells invocation did (journal replay and cancellation are
+/// invisible in the return value alone).
+struct RunCellsReport {
+  i64 executed = 0;               ///< cells measured by this run
+  i64 replayed = 0;               ///< cells answered from the journal
+  i64 journal_dropped = 0;        ///< damaged journal records discarded on open
+  std::vector<size_t> cancelled;  ///< cell indices that never ran (ascending)
+  std::vector<std::string> notes; ///< journal quarantine / degradation notes
+};
+
 /// Fan `fn` out over the plan's deduplicated cells with the planner's
 /// sharding (one work item per cell, index-addressed, any thread count).
-/// `fn(cell_index, cell, runner)` must write results only to its own index.
-/// Failure discipline follows the plan: transient failures retry up to
-/// plan.transient_retries; under OnError::isolate surviving failures come
-/// back as the (deterministically ordered) return value with the other
-/// cells completed, under OnError::propagate the first one rethrows after
-/// join (and the returned vector is always empty).
+/// `fn(cell_index, cell, runner, guard)` must write results only to its own
+/// index, and should guard.checkpoint() at its own evaluation boundaries so
+/// plan.cell_deadline_ms can interrupt it. Failure discipline follows the
+/// plan: transient failures retry up to plan.transient_retries; under
+/// OnError::isolate surviving failures come back as the (deterministically
+/// ordered) return value with the other cells completed, under
+/// OnError::propagate the first one rethrows after join (and the returned
+/// vector is always empty).
+///
+/// Durable execution: with plan.journal_path set (which requires `codec`),
+/// journaled cells replay through codec->decode instead of running, and
+/// completed cells are appended through codec->encode -- fsync'd before the
+/// next cell can observe them. Cancellation (plan.cancel) drains in-flight
+/// cells and reports unstarted ones in report->cancelled.
 std::vector<CellFailure> run_cells(
     const SweepPlan& plan,
-    const std::function<void(size_t, const CellRef&, harness::Runner&)>& fn);
+    const std::function<void(size_t, const CellRef&, harness::Runner&,
+                             const harness::CellGuard&)>& fn,
+    const CellCodec* codec = nullptr, RunCellsReport* report = nullptr);
 
 }  // namespace bine::exp

@@ -1,5 +1,7 @@
 #include "fault/fault.hpp"
 
+#include <dirent.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -58,22 +60,40 @@ void require(bool ok, const char* what) {
   if (!ok) throw std::invalid_argument(std::string("fault::FaultSpec: ") + what);
 }
 
-[[nodiscard]] double parse_double_field(std::string_view key, std::string_view text) {
+/// Position-bearing spec rejection (tune/json's error style): every message
+/// names the byte offset of the offending token within the spec string.
+[[noreturn]] void spec_fail(size_t at, const std::string& what) {
+  throw std::invalid_argument("fault spec: " + what + " at byte " +
+                              std::to_string(at));
+}
+
+/// Strict double: the whole token must be consumed, no leading/trailing
+/// whitespace (strtod would silently skip it -- trailing garbage in disguise).
+[[nodiscard]] double parse_double_field(std::string_view key, std::string_view text,
+                                        size_t at) {
+  const std::string buf(text);
+  if (buf.empty() || buf.find_first_of(" \t\n\r\f\v") != std::string::npos)
+    spec_fail(at, "bad number for '" + std::string(key) + "': '" + buf + "'");
   char* end = nullptr;
-  std::string buf(text);
   const double v = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size() || buf.empty())
-    throw std::invalid_argument("fault spec: bad number for '" + std::string(key) +
-                                "': '" + buf + "'");
+  if (end != buf.c_str() + buf.size())
+    spec_fail(at + static_cast<size_t>(end - buf.c_str()),
+              "trailing garbage after number for '" + std::string(key) + "': '" +
+                  buf + "'");
   return v;
 }
 
-[[nodiscard]] i64 parse_int_field(std::string_view key, std::string_view text) {
+[[nodiscard]] i64 parse_int_field(std::string_view key, std::string_view text,
+                                  size_t at) {
   i64 v = 0;
   const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
-  if (ec != std::errc{} || ptr != text.data() + text.size())
-    throw std::invalid_argument("fault spec: bad integer for '" + std::string(key) +
-                                "': '" + std::string(text) + "'");
+  if (ec != std::errc{} || text.empty())
+    spec_fail(at, "bad integer for '" + std::string(key) + "': '" +
+                      std::string(text) + "'");
+  if (ptr != text.data() + text.size())
+    spec_fail(at + static_cast<size_t>(ptr - text.data()),
+              "trailing garbage after integer for '" + std::string(key) + "': '" +
+                  std::string(text) + "'");
   return v;
 }
 
@@ -101,6 +121,16 @@ std::string describe_current_exception() {
     return e.what();
   } catch (...) {
     return "non-standard exception";
+  }
+}
+
+bool current_exception_is_deadline() noexcept {
+  try {
+    throw;
+  } catch (const DeadlineExceeded&) {
+    return true;
+  } catch (...) {
+    return false;
   }
 }
 
@@ -198,48 +228,58 @@ void FaultSpec::validate() const {
 std::shared_ptr<const FaultSpec> parse_spec(std::string_view text) {
   if (text.empty()) return nullptr;
   auto spec = std::make_shared<FaultSpec>();
+  std::vector<std::string> seen;
   size_t pos = 0;
-  while (pos <= text.size()) {
+  for (;;) {
+    const size_t start = pos;
     const size_t comma = std::min(text.find(',', pos), text.size());
-    const std::string_view pair = text.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (pair.empty()) continue;
+    const std::string_view pair = text.substr(start, comma - start);
+    if (pair.empty())
+      spec_fail(start, comma == text.size() ? "trailing ','" : "empty key=value pair");
     const size_t eq = pair.find('=');
     if (eq == std::string_view::npos)
-      throw std::invalid_argument("fault spec: expected key=value, got '" +
-                                  std::string(pair) + "'");
+      spec_fail(start, "expected key=value, got '" + std::string(pair) + "'");
+    if (eq == 0) spec_fail(start, "empty key");
     const std::string_view key = pair.substr(0, eq);
     const std::string_view val = pair.substr(eq + 1);
+    const size_t val_at = start + eq + 1;
+    if (val.empty()) spec_fail(val_at, "empty value for '" + std::string(key) + "'");
+    if (std::find(seen.begin(), seen.end(), key) != seen.end())
+      spec_fail(start, "duplicate key '" + std::string(key) + "'");
+    seen.emplace_back(key);
     if (key == "seed") {
-      spec->seed = static_cast<u64>(parse_int_field(key, val));
+      spec->seed = static_cast<u64>(parse_int_field(key, val, val_at));
     } else if (key == "degrade_local") {
-      spec->degrade_local = parse_double_field(key, val);
+      spec->degrade_local = parse_double_field(key, val, val_at);
     } else if (key == "degrade_global") {
-      spec->degrade_global = parse_double_field(key, val);
+      spec->degrade_global = parse_double_field(key, val, val_at);
     } else if (key == "degrade_intra") {
-      spec->degrade_intra_node = parse_double_field(key, val);
+      spec->degrade_intra_node = parse_double_field(key, val, val_at);
     } else if (key == "outage") {
-      spec->link_outage_fraction = parse_double_field(key, val);
+      spec->link_outage_fraction = parse_double_field(key, val, val_at);
     } else if (key == "dead_bw") {
-      spec->dead_link_bandwidth = parse_double_field(key, val);
+      spec->dead_link_bandwidth = parse_double_field(key, val, val_at);
     } else if (key == "drop") {
-      spec->drop_fraction = parse_double_field(key, val);
+      spec->drop_fraction = parse_double_field(key, val, val_at);
     } else if (key == "corrupt") {
-      spec->corrupt_fraction = parse_double_field(key, val);
+      spec->corrupt_fraction = parse_double_field(key, val, val_at);
     } else if (key == "dead_links" || key == "failed") {
       auto& dst = (key == "failed") ? spec->failed_ranks : spec->dead_links;
       size_t vp = 0;
-      while (vp <= val.size()) {
+      for (;;) {
         const size_t colon = std::min(val.find(':', vp), val.size());
         const std::string_view item = val.substr(vp, colon - vp);
-        vp = colon + 1;
-        if (!item.empty()) dst.push_back(parse_int_field(key, item));
+        if (item.empty())
+          spec_fail(val_at + vp, "empty list entry for '" + std::string(key) + "'");
+        dst.push_back(parse_int_field(key, item, val_at + vp));
         if (colon == val.size()) break;
+        vp = colon + 1;
       }
     } else {
-      throw std::invalid_argument("fault spec: unknown key '" + std::string(key) + "'");
+      spec_fail(start, "unknown key '" + std::string(key) + "'");
     }
     if (comma == text.size()) break;
+    pos = comma + 1;
   }
   spec->validate();
   return spec;
@@ -299,6 +339,45 @@ std::string quarantine_file(const std::string& path) {
   std::remove(aside.c_str());
   if (std::rename(path.c_str(), aside.c_str()) != 0) return {};
   return aside;
+}
+
+i64 clean_stale_temps(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const std::string prefix =
+      (slash == std::string::npos ? path : path.substr(slash + 1)) + ".tmp.";
+  DIR* d = ::opendir(dir.empty() ? "/" : dir.c_str());
+  if (d == nullptr) return 0;
+  std::vector<std::string> stale;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string_view name = e->d_name;
+    if (name.size() <= prefix.size() || name.substr(0, prefix.size()) != prefix)
+      continue;
+    // The AtomicFile naming scheme is "<path>.tmp.<pid>.<counter>"; anything
+    // matching the prefix but not that shape is not ours -- leave it alone.
+    const std::string_view tail = name.substr(prefix.size());
+    const size_t dot = tail.find('.');
+    if (dot == std::string_view::npos || dot == 0 || dot + 1 >= tail.size()) continue;
+    i64 pid = 0, seq = 0;
+    const std::string_view pid_sv = tail.substr(0, dot);
+    const std::string_view seq_sv = tail.substr(dot + 1);
+    auto pr = std::from_chars(pid_sv.data(), pid_sv.data() + pid_sv.size(), pid);
+    auto sr = std::from_chars(seq_sv.data(), seq_sv.data() + seq_sv.size(), seq);
+    if (pr.ec != std::errc{} || pr.ptr != pid_sv.data() + pid_sv.size() ||
+        sr.ec != std::errc{} || sr.ptr != seq_sv.data() + seq_sv.size() || pid <= 0)
+      continue;
+    // A live writer's temp (our own process included) is in flight, not
+    // stale. kill(pid, 0) probes existence: only ESRCH proves the process is
+    // gone (EPERM means alive-but-not-ours).
+    if (pid == static_cast<i64>(::getpid())) continue;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) continue;
+    stale.push_back((dir.empty() ? std::string("/") : dir + "/") + std::string(name));
+  }
+  ::closedir(d);
+  i64 removed = 0;
+  for (const std::string& temp : stale)
+    if (std::remove(temp.c_str()) == 0) ++removed;
+  return removed;
 }
 
 }  // namespace bine::fault

@@ -56,6 +56,20 @@ class TransientError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown by harness::CellGuard::checkpoint when a work item overruns its
+/// SweepPlan::cell_deadline_ms budget. Deliberately NOT a TransientError: a
+/// wedged cell re-run under the same budget wedges again, so the retry
+/// machinery classifies it permanent and the sweep surfaces a structured
+/// CellError with deadline_exceeded set instead of a stalled shard.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Is the in-flight exception a DeadlineExceeded? For tagging the CellError
+/// kind inside catch (...) blocks (alongside classify_current_exception).
+[[nodiscard]] bool current_exception_is_deadline() noexcept;
+
 /// Classification table (see DESIGN.md): TransientError -> transient,
 /// any other exception -> permanent.
 [[nodiscard]] FaultClass classify(const std::exception& e) noexcept;
@@ -135,8 +149,12 @@ struct FaultSpec {
 ///   seed=7,degrade_global=0.5,degrade_local=0.9,degrade_intra=0.95,
 ///   outage=0.02,dead_bw=1,drop=0.01,corrupt=0.01,failed=0:3:5
 /// (failed ranks are ':'-separated). Throws std::invalid_argument on
-/// malformed input. The CI fault-injection job uses this to run the whole
-/// tier-1 suite on a degraded machine model.
+/// malformed input -- strict, position-bearing (every message names the
+/// byte offset of the offending token, matching tune/json's error style):
+/// empty pairs, empty keys or values, duplicate keys, trailing separators
+/// and trailing garbage after a number are all rejected. The CI
+/// fault-injection job uses this to run the whole tier-1 suite on a
+/// degraded machine model.
 [[nodiscard]] std::shared_ptr<const FaultSpec> spec_from_env();
 
 /// Parse a spec string (the BINE_FAULT_SPEC syntax above); empty -> nullptr.
@@ -185,5 +203,14 @@ void write_file_atomic(const std::string& path, std::string_view content);
 /// starts clean (quarantine-on-load). Returns the quarantine path, or an
 /// empty string when the rename failed.
 [[nodiscard]] std::string quarantine_file(const std::string& path);
+
+/// Remove stale AtomicFile temps ("<path>.tmp.<pid>.<n>") stranded by a
+/// crash between temp write and rename. Only temps whose writer process is
+/// gone are removed -- a live pid (including our own) means a concurrent
+/// writer whose temp must survive; names that don't parse as pid.counter
+/// are left alone. Sweep/journal startup calls this for its own artifact
+/// paths so a kill-loop can never accumulate garbage. Returns the number of
+/// temps removed.
+i64 clean_stale_temps(const std::string& path);
 
 }  // namespace bine::fault

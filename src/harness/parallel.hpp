@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "harness/cancel.hpp"
 
 /// Deterministic fan-out for the evaluation sweeps.
 ///
@@ -27,13 +28,24 @@ namespace bine::harness {
 /// (`threads <= 0` = default_thread_count()). Each index runs exactly once;
 /// ordering across indices is unspecified. The first exception thrown by any
 /// fn(i) is rethrown on the calling thread after all workers join.
+///
+/// `cancel`, when given, is consulted before each index is handed out: a
+/// fired token makes workers stop taking new indices while every fn(i)
+/// already in flight runs to completion (drain semantics -- a journaled
+/// sweep persists the drained cells, so the partial result is resumable).
+/// Indices never handed out simply don't run; the caller distinguishes them
+/// by its own per-index result slots.
 template <class Fn>
-void parallel_for(i64 n, Fn&& fn, i64 threads = 0) {
+void parallel_for(i64 n, Fn&& fn, i64 threads = 0,
+                  const CancelToken* cancel = nullptr) {
   if (n <= 0) return;
   if (threads <= 0) threads = default_thread_count();
   threads = std::min<i64>(threads, n);
   if (threads <= 1) {
-    for (i64 i = 0; i < n; ++i) fn(i);
+    for (i64 i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(i);
+    }
     return;
   }
 
@@ -44,6 +56,7 @@ void parallel_for(i64 n, Fn&& fn, i64 threads = 0) {
 
   auto worker = [&] {
     for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) return;
       const i64 i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n || failed.load(std::memory_order_relaxed)) return;
       try {

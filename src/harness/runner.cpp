@@ -408,7 +408,7 @@ std::pair<std::string, RunResult> Runner::best_binomial(Collective coll, i64 nod
 }
 
 std::vector<std::pair<std::string, RunResult>> Runner::sweep(
-    const std::vector<SweepQuery>& queries, i64 threads) {
+    const std::vector<SweepQuery>& queries, i64 threads, const CancelToken* cancel) {
   // Warm the per-node machine caches serially so workers only compete for
   // cells, not for building the same topology/route table under the lock.
   for (const SweepQuery& q : queries) (void)sized_for(q.nodes);
@@ -485,7 +485,7 @@ std::vector<std::pair<std::string, RunResult>> Runner::sweep(
           results[cell.query_indices[v]] = std::move(best);
         }
       },
-      threads);
+      threads, cancel);
   return results;
 }
 

@@ -11,6 +11,7 @@
 #include "alloc/allocation.hpp"
 #include "coll/registry.hpp"
 #include "fault/fault.hpp"
+#include "harness/cancel.hpp"
 #include "net/profiles.hpp"
 #include "net/route_cache.hpp"
 #include "runtime/exec_plan.hpp"
@@ -223,8 +224,13 @@ class Runner {
   /// returned vector -- and anything printed from it in order -- is
   /// byte-identical for any thread count, with or without the schedule
   /// cache.
+  ///
+  /// `cancel`, when given, stops new cells from starting once fired
+  /// (parallel_for's drain semantics); queries whose cell never ran come
+  /// back default-constructed -- an empty algorithm name marks them.
   [[nodiscard]] std::vector<std::pair<std::string, RunResult>> sweep(
-      const std::vector<SweepQuery>& queries, i64 threads = 0);
+      const std::vector<SweepQuery>& queries, i64 threads = 0,
+      const CancelToken* cancel = nullptr);
 
  private:
   struct Sized {

@@ -1,11 +1,13 @@
 #include "tune/tuner.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "core/fnv.hpp"
 #include "exp/sweep.hpp"
 
 namespace bine::tune {
@@ -40,12 +42,15 @@ std::vector<const coll::AlgorithmEntry*> Tuner::candidates(Collective coll, i64 
 
 const coll::AlgorithmEntry* Tuner::winner_at(
     harness::Runner& runner, Collective coll, i64 p, i64 size,
-    const std::vector<const coll::AlgorithmEntry*>& cands) const {
+    const std::vector<const coll::AlgorithmEntry*>& cands,
+    const harness::CellGuard* guard) const {
   // Rank every candidate by simulated time. Pure function of the cell, so
   // sharding cannot reorder anything observable.
   std::vector<std::pair<double, size_t>> ranked(cands.size());
-  for (size_t k = 0; k < cands.size(); ++k)
+  for (size_t k = 0; k < cands.size(); ++k) {
+    if (guard != nullptr) guard->checkpoint("candidate ranking");
     ranked[k] = {runner.run(coll, *cands[k], p, size).seconds, k};
+  }
   // stable_sort keeps registry order on ties -- the same tie-break
   // best_of's strict < performs.
   std::stable_sort(ranked.begin(), ranked.end(),
@@ -64,6 +69,7 @@ const coll::AlgorithmEntry* Tuner::winner_at(
   // serial build lets the executor's size-gated auto default engage.
   const i64 exec_threads = options_.threads == 1 ? 0 : 1;
   for (size_t k = 0; k < k_max; ++k) {
+    if (guard != nullptr) guard->checkpoint("verified refinement");
     const coll::AlgorithmEntry* cand = cands[ranked[k].second];
     const harness::VerifiedRun v = runner.run_verified(
         coll, *cand, p, size, exec_threads, options_.refine_elem, options_.refine_op);
@@ -76,7 +82,7 @@ const coll::AlgorithmEntry* Tuner::winner_at(
 }
 
 std::vector<SizeInterval> Tuner::tune_cell(harness::Runner& runner, Collective coll,
-                                           i64 p) const {
+                                           i64 p, const harness::CellGuard* guard) const {
   const std::vector<const coll::AlgorithmEntry*> cands = candidates(coll, p);
   if (cands.empty())
     throw std::runtime_error(std::string("tuner: no applicable algorithm for ") +
@@ -86,7 +92,7 @@ std::vector<SizeInterval> Tuner::tune_cell(harness::Runner& runner, Collective c
   std::vector<const coll::AlgorithmEntry*> winners;
   winners.reserve(grid.size());
   for (const i64 size : grid)
-    winners.push_back(winner_at(runner, coll, p, size, cands));
+    winners.push_back(winner_at(runner, coll, p, size, cands, guard));
 
   // Adaptive refinement (bounded depth): each pass ranks the geometric
   // midpoint of every adjacent pair whose winners differ and inserts it, so
@@ -106,7 +112,7 @@ std::vector<SizeInterval> Tuner::tune_cell(harness::Runner& runner, Collective c
           std::sqrt(static_cast<double>(grid[i]) * static_cast<double>(grid[i + 1]))));
       if (mid <= grid[i] || mid >= grid[i + 1]) continue;  // bracket exhausted
       refined_grid.push_back(mid);
-      refined_winners.push_back(winner_at(runner, coll, p, mid, cands));
+      refined_winners.push_back(winner_at(runner, coll, p, mid, cands, guard));
       inserted = true;
     }
     grid = std::move(refined_grid);
@@ -127,6 +133,63 @@ std::vector<SizeInterval> Tuner::tune_cell(harness::Runner& runner, Collective c
   }
   return intervals;
 }
+
+u64 Tuner::options_salt() const {
+  u64 h = core::kFnvOffset;
+  const auto mix = [&h](u64 v) { core::fnv_mix_bytes(h, &v, sizeof(v)); };
+  core::fnv_mix_string(h, "bine.tuner.options.v1");
+  mix(grid_.size());
+  for (const i64 s : grid_) mix(static_cast<u64>(s));
+  mix(static_cast<u64>(options_.refine_top_k));
+  mix(static_cast<u64>(options_.bisect_depth));
+  mix(static_cast<u64>(static_cast<int>(options_.refine_elem)));
+  mix(static_cast<u64>(static_cast<int>(options_.refine_op)));
+  return h;
+}
+
+namespace {
+
+/// Journal payload codec for a tuned cell: one "lo<TAB>hi<TAB>algorithm"
+/// line per SizeInterval. Lossless -- bounds are integers and algorithm
+/// names are registry identifiers (no tabs or newlines) -- so a replayed
+/// cell reproduces its intervals byte-for-byte.
+std::string encode_intervals(const std::vector<SizeInterval>& intervals) {
+  std::string out;
+  for (const SizeInterval& iv : intervals)
+    out += std::to_string(iv.lo_bytes) + "\t" + std::to_string(iv.hi_bytes) + "\t" +
+           iv.algorithm + "\n";
+  return out;
+}
+
+std::vector<SizeInterval> decode_intervals(std::string_view payload) {
+  std::vector<SizeInterval> out;
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    const size_t line_end = payload.find('\n', pos);
+    if (line_end == std::string_view::npos)
+      throw std::runtime_error("tuner journal codec: unterminated line");
+    const std::string_view line = payload.substr(pos, line_end - pos);
+    pos = line_end + 1;
+    const size_t t1 = line.find('\t');
+    const size_t t2 = t1 == std::string_view::npos ? t1 : line.find('\t', t1 + 1);
+    if (t2 == std::string_view::npos || t2 + 1 >= line.size())
+      throw std::runtime_error("tuner journal codec: bad interval line");
+    const auto parse_bound = [&](std::string_view s) {
+      i64 v = 0;
+      const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+      if (ec != std::errc{} || ptr != s.data() + s.size())
+        throw std::runtime_error("tuner journal codec: bad interval bound");
+      return v;
+    };
+    out.push_back({parse_bound(line.substr(0, t1)),
+                   parse_bound(line.substr(t1 + 1, t2 - t1 - 1)),
+                   std::string(line.substr(t2 + 1))});
+  }
+  if (out.empty()) throw std::runtime_error("tuner journal codec: empty cell");
+  return out;
+}
+
+}  // namespace
 
 DecisionTable Tuner::build(const std::vector<net::SystemProfile>& profiles,
                            const std::vector<Collective>& colls,
@@ -169,23 +232,51 @@ DecisionTable Tuner::build(const std::vector<net::SystemProfile>& profiles,
                                                  : exp::SweepPlan::OnError::propagate;
   plan.transient_retries = options_.transient_retries;
   plan.retry_backoff_ms = options_.retry_backoff_ms;
+  // Durable builds: the journal key is the build plan's fingerprint with the
+  // tuner's own result-shaping knobs (grid, refinement) salted in, so a
+  // differently-configured tuner -- or a changed profile set -- never
+  // replays stale cells.
+  plan.journal_path = options_.journal_path;
+  plan.journal_salt = options_salt();
+  plan.cell_deadline_ms = options_.cell_deadline_ms;
+  plan.cancel = options_.cancel;
+  plan.progress = options_.progress;
 
   const std::vector<exp::CellRef> cells = exp::enumerate_cells(plan);
   std::vector<std::vector<SizeInterval>> results(cells.size());
+  exp::CellCodec codec;
+  codec.encode = [&](size_t i, const exp::CellError* err) -> std::string {
+    // Only finished cells journal; a failed cell re-runs fresh on resume
+    // (its failure may have been environmental, and the retry costs what the
+    // original attempt cost).
+    return err != nullptr ? std::string() : encode_intervals(results[i]);
+  };
+  codec.decode = [&](size_t i, std::string_view payload) -> std::optional<exp::CellError> {
+    results[i] = decode_intervals(payload);
+    return std::nullopt;
+  };
+  exp::RunCellsReport cell_report;
   const std::vector<exp::CellFailure> failures = exp::run_cells(
-      plan, [&](size_t i, const exp::CellRef& cell, harness::Runner& runner) {
-        results[i] = tune_cell(runner, cell.coll, cell.p);
-      });
+      plan,
+      [&](size_t i, const exp::CellRef& cell, harness::Runner& runner,
+          const harness::CellGuard& guard) {
+        results[i] = tune_cell(runner, cell.coll, cell.p, &guard);
+      },
+      &codec, &cell_report);
   if (!failures.empty() && failures.size() == cells.size())
     throw std::runtime_error("tuner: every cell failed; first: " +
                              failures.front().error.message);
 
   // Failed cells are excluded with a note (LoadReport-style): the table
   // simply has no entry, so consumers fall through to their MissPolicy.
-  std::vector<bool> failed(cells.size(), false);
-  for (const exp::CellFailure& f : failures) failed[f.index] = true;
+  // Cancelled cells are likewise absent, but reported separately -- they are
+  // not failures, and a journaled re-run picks them up.
+  std::vector<bool> skip(cells.size(), false);
+  for (const exp::CellFailure& f : failures) skip[f.index] = true;
   BuildReport local;
   BuildReport& rep = report ? *report : local;
+  rep.replayed_cells = cell_report.replayed;
+  for (std::string& note : cell_report.notes) rep.notes.push_back(std::move(note));
   for (const exp::CellFailure& f : failures) {
     ++rep.failed_cells;
     rep.notes.push_back(
@@ -194,8 +285,16 @@ DecisionTable Tuner::build(const std::vector<net::SystemProfile>& profiles,
         " after " + std::to_string(f.error.attempts) + " attempt(s): " +
         f.error.message);
   }
+  for (const size_t i : cell_report.cancelled) {
+    skip[i] = true;
+    ++rep.cancelled_cells;
+    rep.notes.push_back("cancelled cell " + profiles[cells[i].system].name + "/" +
+                        std::string(to_string(cells[i].coll)) +
+                        " p=" + std::to_string(cells[i].p) +
+                        " (not tuned; resumable from the journal)");
+  }
   for (size_t i = 0; i < cells.size(); ++i) {
-    if (failed[i]) continue;
+    if (skip[i]) continue;
     table.set_cell(CellKey{profiles[cells[i].system].name, cells[i].coll, cells[i].p},
                    std::move(results[i]));
     ++rep.cells;

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "harness/cancel.hpp"
 #include "harness/runner.hpp"
 #include "tune/decision_table.hpp"
 
@@ -65,13 +68,35 @@ struct TunerOptions {
   /// (fault::TransientError), with doubling backoff (0 ms = no sleep).
   i64 transient_retries = 0;
   i64 retry_backoff_ms = 0;
+
+  // --- durable builds --------------------------------------------------------
+  /// When non-empty, build() journals every tuned cell here (exp::Journal,
+  /// keyed by the build plan's fingerprint with the tuner's own grid and
+  /// refinement knobs mixed in): a killed build, re-run with the same
+  /// inputs, replays finished cells from the journal and produces a
+  /// byte-identical DecisionTable. Failed cells are never journaled -- a
+  /// resumed build retries them fresh.
+  std::string journal_path;
+  /// Per-cell wall-clock budget in milliseconds (0 = none), enforced
+  /// cooperatively between candidate evaluations; an overrunning cell fails
+  /// with fault::DeadlineExceeded under the usual failure discipline.
+  i64 cell_deadline_ms = 0;
+  /// Cooperative cancellation for build(): in-flight cells drain (and are
+  /// journaled), unstarted cells are skipped and counted in
+  /// BuildReport::cancelled_cells -- the partial table is resumable via the
+  /// journal.
+  const harness::CancelToken* cancel = nullptr;
+  /// Progress hook: (cells done or replayed so far, total cells).
+  std::function<void(size_t done, size_t total)> progress;
 };
 
 /// What build() did: cell counts plus one note per excluded cell (only ever
 /// non-empty under TunerOptions::tolerate_failed_cells).
 struct BuildReport {
-  i64 cells = 0;         ///< cells tuned into the table
-  i64 failed_cells = 0;  ///< cells excluded after exhausting retries
+  i64 cells = 0;          ///< cells tuned into the table
+  i64 failed_cells = 0;   ///< cells excluded after exhausting retries
+  i64 replayed_cells = 0; ///< cells answered from the journal (durable builds)
+  i64 cancelled_cells = 0;///< cells skipped because the CancelToken fired
   std::vector<std::string> notes;
 };
 
@@ -96,10 +121,12 @@ class Tuner {
 
   /// Tune one cell with a caller-provided Runner (the tune-on-miss path and
   /// build()'s per-cell work item). Deterministic; throws if no candidate
-  /// applies or every refined candidate fails verification.
-  [[nodiscard]] std::vector<SizeInterval> tune_cell(harness::Runner& runner,
-                                                    sched::Collective coll,
-                                                    i64 p) const;
+  /// applies or every refined candidate fails verification. `guard`, when
+  /// given, is checkpointed between candidate evaluations so a per-cell
+  /// deadline can interrupt a wedged cell.
+  [[nodiscard]] std::vector<SizeInterval> tune_cell(
+      harness::Runner& runner, sched::Collective coll, i64 p,
+      const harness::CellGuard* guard = nullptr) const;
 
   /// The registry candidates a cell ranks: every non-topology-specialized
   /// algorithm whose rank-count gate admits p, in registry order.
@@ -109,10 +136,15 @@ class Tuner {
  private:
   /// Rank every candidate at one size and return the winner (simulated
   /// argmin, refined through verified execution when configured).
-  [[nodiscard]] const coll::AlgorithmEntry* winner_at(harness::Runner& runner,
-                                                      sched::Collective coll, i64 p,
-                                                      i64 size,
-                                                      const std::vector<const coll::AlgorithmEntry*>& cands) const;
+  [[nodiscard]] const coll::AlgorithmEntry* winner_at(
+      harness::Runner& runner, sched::Collective coll, i64 p, i64 size,
+      const std::vector<const coll::AlgorithmEntry*>& cands,
+      const harness::CellGuard* guard) const;
+
+  /// The tuner knobs that shape cell results, hashed into the build plan's
+  /// journal_salt: a journal written by a differently-configured tuner must
+  /// never replay into this one.
+  [[nodiscard]] u64 options_salt() const;
 
   TunerOptions options_;
   std::vector<i64> grid_;  ///< normalized size_grid

@@ -166,6 +166,41 @@ TEST(FaultSpec, ParseSpecRoundTrip) {
   EXPECT_THROW((void)fault::parse_spec("failed=1:x"), std::invalid_argument);
 }
 
+// Strict parsing with positions: every rejection names the offending byte
+// offset (the tune/json error style), and trailing garbage never passes.
+TEST(FaultSpec, ParseSpecReportsBytePositions) {
+  const auto fails_at = [](const std::string& spec, const std::string& what,
+                           const std::string& at) {
+    try {
+      (void)fault::parse_spec(spec);
+      ADD_FAILURE() << "accepted: " << spec;
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(what), std::string::npos) << spec << " -> " << msg;
+      EXPECT_NE(msg.find("at byte " + at), std::string::npos)
+          << spec << " -> " << msg;
+    }
+  };
+  fails_at("drop=0.5junk", "trailing garbage", "8");  // after "drop=0.5"
+  fails_at("seed=7,drop=0.5 ", "bad number", "12");   // embedded whitespace
+  fails_at("seed= 7", "bad integer", "5");
+  fails_at("seed=7,", "trailing ','", "7");
+  fails_at("seed=7,,drop=0.1", "empty key=value pair", "7");
+  fails_at("=7", "empty key", "0");
+  fails_at("seed=", "empty value", "5");
+  fails_at("seed=7,seed=9", "duplicate key", "7");
+  fails_at("seed=7,unknown_key=1", "unknown key", "7");
+  fails_at("seed=0x7", "trailing garbage", "6");
+  fails_at("failed=1::3", "empty list entry", "9");
+  fails_at("drop", "expected key=value", "0");
+
+  // The strict parser still accepts everything the round-trip test feeds it
+  // (covered above); spot-check that values at non-zero offsets parse.
+  const auto ok = fault::parse_spec("seed=7,drop=0.25");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_DOUBLE_EQ(ok->drop_fraction, 0.25);
+}
+
 TEST(FaultSpec, Classification) {
   const fault::TransientError t("link flap");
   const std::runtime_error p("broken invariant");
@@ -481,6 +516,58 @@ TEST(FaultSweep, TransientFailuresRetryDeterministically) {
   EXPECT_EQ(worn.errors[0].attempts, 2);  // initial try + 1 retry
   EXPECT_TRUE(worn.errors[0].transient);
   EXPECT_EQ(attempts.load(), 2);
+}
+
+// Retry accounting is deterministic across shard widths: with a doubling
+// backoff configured, serial and 4-way sharded runs of the same
+// always-transient plan record identical attempt counts, error rows and
+// serialized JSON.
+TEST(FaultSweep, RetryAccountingIsShardInvariant) {
+  std::string reference_json;
+  std::vector<i64> reference_attempts;
+  for (const i64 threads : {i64{1}, i64{4}}) {
+    std::atomic<int> calls{0};
+    exp::SweepPlan plan;
+    plan.name = "retry_determinism";
+    plan.backend = exp::Backend::custom;
+    plan.systems.emplace_back(net::lumi_profile());
+    plan.colls = {Collective::allreduce};
+    plan.series.push_back(exp::Series::best_of("probe", {}));
+    plan.nodes.counts = {8, 16, 32};
+    plan.sizes = {1024};
+    plan.threads = threads;
+    plan.on_error = exp::SweepPlan::OnError::isolate;
+    plan.transient_retries = 2;
+    plan.retry_backoff_ms = 1;  // doubling backoff may not perturb accounting
+    plan.metric = [&calls](const exp::CellCtx& ctx) -> exp::Metrics {
+      ++calls;
+      if (ctx.nodes != 8) throw fault::TransientError("flap");
+      return {};
+    };
+
+    const exp::SweepResult res = exp::run(plan);
+    ASSERT_EQ(res.errors.size(), 2u) << "threads=" << threads;
+    std::vector<i64> attempts;
+    for (const exp::CellError& e : res.errors) {
+      EXPECT_TRUE(e.transient);
+      attempts.push_back(e.attempts);
+    }
+    EXPECT_EQ(calls.load(), 1 + 2 * 3);  // 1 clean + 2 cells x (1 try + 2 retries)
+    int failed_rows = 0;
+    for (const exp::Row& row : res.rows)
+      if (row.m.failed) ++failed_rows;
+    EXPECT_EQ(failed_rows, 2);
+
+    const std::string json = res.to_json();
+    if (reference_json.empty()) {
+      reference_json = json;
+      reference_attempts = attempts;
+    } else {
+      EXPECT_EQ(json, reference_json) << "threads=" << threads;
+      EXPECT_EQ(attempts, reference_attempts) << "threads=" << threads;
+    }
+  }
+  EXPECT_EQ(reference_attempts, (std::vector<i64>{3, 3}));
 }
 
 // A clean isolate-mode run must serialize byte-identically to a propagate
