@@ -11,7 +11,9 @@
 // size beyond which threads > 1 beats sequential -- and records it next to
 // the auto-gate threshold (runtime::kExecAutoThreadBytes) in
 // BENCH_exec.json, plus the shared-process-cache demonstration (a second
-// system's plan resolving the same cells without a single new generation).
+// system's plan resolving the same cells without a single new generation)
+// and the sweep's summed stage-copy bytes (0 = the direct/fused/pair-tiling
+// analysis left every delivery zero-copy).
 #include <chrono>
 #include <cstdio>
 #include <limits>
@@ -115,10 +117,15 @@ exp::SweepPlan compiled_plan(net::SystemProfile profile) {
   return plan;
 }
 
-bool run_sweep_compiled() {
+bool run_sweep_compiled(i64* stage_bytes_out = nullptr) {
   const exp::SweepResult r = exp::run(compiled_plan(net::fugaku_profile({4, 4, 4})));
   bool all_ok = true;
-  for (const exp::Row& row : r.rows) all_ok &= row.m.ok;
+  i64 stage_bytes = 0;
+  for (const exp::Row& row : r.rows) {
+    all_ok &= row.m.ok;
+    stage_bytes += row.m.stage_bytes;
+  }
+  if (stage_bytes_out) *stage_bytes_out = stage_bytes;
   return all_ok;
 }
 
@@ -219,7 +226,12 @@ int main() {
     return best;
   };
   const double reference_time = time_mode([&] { return run_sweep_reference(cells); });
-  const double compiled_time = time_mode([&] { return run_sweep_compiled(); });
+  // Stage-copy accounting rides along: with direct + fused + pair-tiling
+  // analysis, every registry plan executes fully zero-copy, so the sweep's
+  // summed ExecPlan::stage_bytes must come back 0.
+  i64 sweep_stage_bytes = -1;
+  const double compiled_time =
+      time_mode([&] { return run_sweep_compiled(&sweep_stage_bytes); });
   const double speedup = reference_time / compiled_time;
 
   // Shared-cache demonstration: a second system's plan in this process
@@ -232,21 +244,30 @@ int main() {
   const u64 second_hits = after.hits - before.hits;
   const u64 second_misses = after.misses - before.misses;
 
-  // Threaded-crossover profile (drives the auto-gate default's sanity).
+  // Threaded-crossover profile (drives the auto-gate default's sanity). The
+  // crossover is only derivable when the machine can actually run threads in
+  // parallel: on a single-core runner every threaded point loses by
+  // construction, so the JSON says so explicitly instead of emitting a bare
+  // -1 with no explanation.
   const std::vector<ThreadProfilePoint> profile = profile_threaded_crossover(runner);
-  i64 crossover = -1;
-  for (const ThreadProfilePoint& pt : profile)
-    if (pt.threaded_ms < pt.sequential_ms) {
-      crossover = pt.bytes;
-      break;
-    }
   const unsigned cores = std::thread::hardware_concurrency();
+  const bool crossover_unmeasurable = cores <= 1;
+  i64 crossover = -1;
+  if (!crossover_unmeasurable)
+    for (const ThreadProfilePoint& pt : profile)
+      if (pt.threaded_ms < pt.sequential_ms) {
+        crossover = pt.bytes;
+        break;
+      }
 
   std::printf("reference: %8.2f ms per sweep (nested walk + per-slot copies)\n",
               1e3 * reference_time);
   std::printf("compiled:  %8.2f ms per sweep (cached ExecPlan + flat state)\n",
               1e3 * compiled_time);
   std::printf("speedup:   %8.2fx   (parity: bit-exact)\n", speedup);
+  std::printf("stage copies: %lld bytes across the sweep (zero-copy: direct + fused "
+              "+ pair tiling)\n",
+              static_cast<long long>(sweep_stage_bytes));
   std::printf("second runner: %llu cache hits, %llu misses (%s)\n",
               static_cast<unsigned long long>(second_hits),
               static_cast<unsigned long long>(second_misses),
@@ -256,8 +277,9 @@ int main() {
     std::printf("%lldKiB %.2f/%.2fms  ", static_cast<long long>(pt.bytes >> 10),
                 pt.sequential_ms, pt.threaded_ms);
   const std::string crossover_label =
-      crossover < 0 ? "never (underpowered runner)"
-                    : std::to_string(crossover) + " bytes";
+      crossover_unmeasurable ? "unmeasurable (single-core runner)"
+      : crossover < 0        ? "never (threading loses at every profiled size)"
+                             : std::to_string(crossover) + " bytes";
   std::printf("\n  -> threads>1 wins from %s (auto gate: %lld bytes, %u hardware "
               "threads)\n",
               crossover_label.c_str(),
@@ -283,20 +305,24 @@ int main() {
                  "  \"compiled_sweep_ms\": %.3f,\n"
                  "  \"speedup\": %.2f,\n"
                  "  \"parity_bit_exact\": %s,\n"
+                 "  \"stage_bytes\": %lld,\n"
                  "  \"second_runner_cache_hits\": %llu,\n"
                  "  \"second_runner_cache_misses\": %llu,\n"
                  "  \"exec_thread_profile\": [%s],\n"
                  "  \"threaded_crossover_bytes_measured\": %lld,\n"
+                 "  \"crossover_unmeasurable_single_core\": %s,\n"
                  "  \"threads_auto_gate_bytes\": %lld,\n"
                  "  \"hardware_threads\": %u\n"
                  "}\n",
                  cells.size(), 1e3 * reference_time, 1e3 * compiled_time, speedup,
                  parity ? "true" : "false",
+                 static_cast<long long>(sweep_stage_bytes),
                  static_cast<unsigned long long>(second_hits),
                  static_cast<unsigned long long>(second_misses), profile_json.c_str(),
                  static_cast<long long>(crossover),
+                 crossover_unmeasurable ? "true" : "false",
                  static_cast<long long>(runtime::kExecAutoThreadBytes), cores);
     if (out.commit()) std::printf("wrote BENCH_exec.json\n");
   }
-  return (parity && second_ok && second_misses == 0) ? 0 : 1;
+  return (parity && second_ok && second_misses == 0 && sweep_stage_bytes == 0) ? 0 : 1;
 }

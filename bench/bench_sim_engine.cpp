@@ -9,10 +9,19 @@
 // asserts engine parity, then times each engine; the per-cell engine times
 // ride in the row's extra field. plan.threads = 1: timing cells never
 // contend. Emits BENCH_sim.json as before.
+//
+// A second section times the SIZE-BATCHED engine (net::simulate_sizes: one
+// structural pass per schedule across the whole size axis) against the
+// per-size compiled loop on the same cell set, asserting bit-identical
+// output -- on the torus (dense accumulators) AND on a Dragonfly large
+// enough to take the sparse touched-link path, so both accumulator regimes
+// sit in the perf snapshot.
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +32,7 @@
 #include "net/simulate.hpp"
 #include "net/topology.hpp"
 #include "sched/compiled.hpp"
+#include "sched/schedule_cache.hpp"
 
 using namespace bine;
 using Clock = std::chrono::steady_clock;
@@ -31,6 +41,91 @@ namespace {
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Batched-vs-per-size comparison on one topology: every non-specialized
+/// allreduce schedule, the paper size axis, compiled per-size loop
+/// (resolve_into + simulate, the Runner hit path) vs ONE simulate_sizes
+/// call. Output must match bitwise; rates are per (schedule, size) cell.
+struct BatchedReport {
+  size_t cells = 0;
+  double compiled_rate = 0;  ///< per-size compiled engine, schedules/sec
+  double batched_rate = 0;   ///< size-batched engine, schedules/sec
+  double speedup = 0;
+  bool bit_identical = true;
+  i64 num_links = 0;
+};
+
+BatchedReport bench_batched(const net::Topology& topo, const net::CostParams& cp,
+                            const std::vector<i64>& sizes, double per_cell_budget) {
+  const net::Placement pl = net::Placement::identity(topo.num_nodes());
+  const net::RouteCache rc(topo, pl);
+  BatchedReport rep;
+  rep.num_links = rc.num_links();
+
+  coll::Config cfg;
+  cfg.p = topo.num_nodes();
+  std::vector<i64> elem_counts(sizes.size());
+  for (size_t s = 0; s < sizes.size(); ++s)
+    elem_counts[s] = std::max<i64>(cfg.p, sizes[s] / cfg.elem_size);
+
+  double compiled_total = 0, batched_total = 0;
+  sched::CompiledSchedule lowered;
+  for (const auto& entry : coll::algorithms_for(sched::Collective::allreduce)) {
+    if (entry.specialized) continue;
+    if (entry.pow2_only && !is_pow2(cfg.p)) continue;
+    cfg.elem_count = elem_counts.back();
+    auto sf = std::make_shared<const sched::SizeFreeSchedule>(
+        sched::SizeFreeSchedule::from(entry.make(cfg)));
+    if (!sf->size_independent) continue;
+
+    // Parity gate, bitwise: timing means nothing if the engines diverge.
+    const auto batched = net::simulate_sizes(*sf, elem_counts, cfg.elem_size, rc, cp);
+    for (size_t s = 0; s < elem_counts.size(); ++s) {
+      sched::SizeFreeSchedule::resolve_into(sf, elem_counts[s], cfg.elem_size, lowered);
+      const net::SimResult oracle = net::simulate(lowered, rc, cp);
+      if (std::bit_cast<u64>(batched[s].seconds) != std::bit_cast<u64>(oracle.seconds) ||
+          batched[s].traffic.total() != oracle.traffic.total() ||
+          batched[s].traffic.messages != oracle.traffic.messages) {
+        std::fprintf(stderr, "FAIL: batched engine diverges on %s/%s n=%lld\n",
+                     topo.name().c_str(), entry.name.c_str(),
+                     static_cast<long long>(elem_counts[s]));
+        rep.bit_identical = false;
+      }
+    }
+
+    // Best of three rounds per engine; the budget covers the whole size axis.
+    double checksum = 0;
+    auto time_engine = [&](auto&& body) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int round = 0; round < 3; ++round) {
+        i64 n = 0;
+        const auto t0 = Clock::now();
+        while (seconds_since(t0) < per_cell_budget) {
+          body();
+          ++n;
+        }
+        best = std::min(best, seconds_since(t0) / static_cast<double>(n));
+      }
+      return best;
+    };
+    compiled_total += time_engine([&] {
+      for (const i64 n : elem_counts) {
+        sched::SizeFreeSchedule::resolve_into(sf, n, cfg.elem_size, lowered);
+        checksum += net::simulate(lowered, rc, cp).seconds;
+      }
+    });
+    batched_total += time_engine([&] {
+      checksum +=
+          net::simulate_sizes(*sf, elem_counts, cfg.elem_size, rc, cp).back().seconds;
+    });
+    (void)checksum;
+    rep.cells += elem_counts.size();
+  }
+  rep.compiled_rate = static_cast<double>(rep.cells) / compiled_total;
+  rep.batched_rate = static_cast<double>(rep.cells) / batched_total;
+  rep.speedup = rep.batched_rate / rep.compiled_rate;
+  return rep;
 }
 
 }  // namespace
@@ -140,6 +235,32 @@ int main() {
               1e3 * compiled_total);
   std::printf("speedup:  %10.2fx   (parity rel err %.3g)\n", speedup, max_rel_err);
 
+  // Size-batched engine (one structural pass per schedule across the whole
+  // size axis) vs the per-size compiled loop, on the dense-accumulator torus
+  // and on a dragonfly large enough for the sparse touched-link path. The
+  // compiled baseline here is resolve_into + simulate -- the schedule-cache
+  // hit path, i.e. the strictest version of "the current compiled engine".
+  const BatchedReport torus_batched = bench_batched(topo, cp, plan.sizes, 0.01);
+  // 384 ranks, 1320 links: past the scalar engine's 1024-link dense-scan
+  // threshold, so the sparse touched-link path is what gets compared. The
+  // larger budget keeps several reps inside each round even for the ring
+  // schedule (~20 ms per batched pass at 384 ranks).
+  const net::Dragonfly dragonfly(24, 16, 1, 25e9, 25e9);
+  const net::CostParams dragonfly_cp;  // default alphas: a real global tier
+  const BatchedReport dragonfly_batched =
+      bench_batched(dragonfly, dragonfly_cp, plan.sizes, 0.05);
+  std::printf("batched (torus, %lld links):     %10.1f schedules/sec  "
+              "(%.2fx vs per-size compiled, %s)\n",
+              static_cast<long long>(torus_batched.num_links),
+              torus_batched.batched_rate, torus_batched.speedup,
+              torus_batched.bit_identical ? "bit-identical" : "DIVERGED");
+  std::printf("batched (dragonfly, %lld links): %10.1f schedules/sec  "
+              "(%.2fx vs per-size compiled, %s)\n",
+              static_cast<long long>(dragonfly_batched.num_links),
+              dragonfly_batched.batched_rate, dragonfly_batched.speedup,
+              dragonfly_batched.bit_identical ? "bit-identical" : "DIVERGED");
+  if (!torus_batched.bit_identical || !dragonfly_batched.bit_identical) return 1;
+
   if (fault::AtomicFile out("BENCH_sim.json"); std::FILE* f = out.handle()) {
     std::fprintf(f,
                  "{\n"
@@ -150,9 +271,24 @@ int main() {
                  "  \"naive_schedules_per_sec\": %.1f,\n"
                  "  \"compiled_schedules_per_sec\": %.1f,\n"
                  "  \"speedup\": %.2f,\n"
-                 "  \"parity_max_rel_err\": %.3g\n"
+                 "  \"parity_max_rel_err\": %.3g,\n"
+                 "  \"per_size_compiled_schedules_per_sec\": %.1f,\n"
+                 "  \"per_schedule_rate_batched\": %.1f,\n"
+                 "  \"batched_speedup\": %.2f,\n"
+                 "  \"batched_bit_identical\": %s,\n"
+                 "  \"dragonfly_num_links\": %lld,\n"
+                 "  \"dragonfly_per_size_compiled_schedules_per_sec\": %.1f,\n"
+                 "  \"dragonfly_per_schedule_rate_batched\": %.1f,\n"
+                 "  \"dragonfly_batched_speedup\": %.2f,\n"
+                 "  \"dragonfly_batched_bit_identical\": %s\n"
                  "}\n",
-                 cells, naive_rate, compiled_rate, speedup, max_rel_err);
+                 cells, naive_rate, compiled_rate, speedup, max_rel_err,
+                 torus_batched.compiled_rate, torus_batched.batched_rate,
+                 torus_batched.speedup, torus_batched.bit_identical ? "true" : "false",
+                 static_cast<long long>(dragonfly_batched.num_links),
+                 dragonfly_batched.compiled_rate, dragonfly_batched.batched_rate,
+                 dragonfly_batched.speedup,
+                 dragonfly_batched.bit_identical ? "true" : "false");
     if (out.commit()) std::printf("wrote BENCH_sim.json\n");
   }
   return 0;

@@ -268,19 +268,34 @@ void measure_cell(const SweepPlan& plan, const Axes& ax, const Item& item,
   std::vector<std::optional<harness::RunResult>> eval(names.size());
   std::vector<std::optional<harness::VerifiedRun>> veval(verified ? names.size() : 0);
 
+  // Simulation backends hand each candidate's WHOLE size axis to the batched
+  // engine: one structural pass per (cell, algorithm) via Runner::run_sizes
+  // -- bit-identical to the per-size path -- instead of one pass per size.
+  // Verified execution stays per-size (real buffers scale with the vector).
+  std::vector<std::vector<harness::RunResult>> eval_sizes(verified ? 0 : names.size());
+  if (!verified) {
+    for (size_t n = 0; n < names.size(); ++n) {
+      guard.checkpoint("algorithm evaluation");
+      const auto& entry = coll::find_algorithm(cell.coll, names[n]);
+      if (!runner->applicable(entry, cell.p)) continue;
+      eval_sizes[n] = runner->run_sizes(cell.coll, entry, cell.p, ax.sizes);
+    }
+  }
+
   for (size_t si = 0; si < ax.sizes.size(); ++si) {
     const i64 size = ax.sizes[si];
     for (size_t n = 0; n < names.size(); ++n) {
       eval[n].reset();
-      if (verified) veval[n].reset();
-      guard.checkpoint("algorithm evaluation");
-      const auto& entry = coll::find_algorithm(cell.coll, names[n]);
-      if (!runner->applicable(entry, cell.p)) continue;
-      if (verified)
+      if (verified) {
+        veval[n].reset();
+        guard.checkpoint("algorithm evaluation");
+        const auto& entry = coll::find_algorithm(cell.coll, names[n]);
+        if (!runner->applicable(entry, cell.p)) continue;
         veval[n] = runner->run_verified(cell.coll, entry, cell.p, size, exec_threads,
                                         plan.elem, plan.op);
-      else
-        eval[n] = runner->run(cell.coll, entry, cell.p, size);
+      } else if (!eval_sizes[n].empty()) {
+        eval[n] = eval_sizes[n][si];
+      }
     }
 
     for (size_t k = 0; k < plan.series.size(); ++k) {
@@ -314,6 +329,7 @@ void measure_cell(const SweepPlan& plan, const Axes& ax, const Item& item,
               m.error = v.error;
               m.messages = v.messages;
               m.wire_bytes = v.wire_bytes;
+              m.stage_bytes = v.stage_bytes;
               m.digest = v.digest;
               m.used_cache = v.used_cache;
             }
@@ -480,7 +496,7 @@ std::vector<std::string_view> split_view(std::string_view s, char sep) {
   }
 }
 
-constexpr size_t kRowFields = 12;
+constexpr size_t kRowFields = 13;
 
 void encode_metrics_row(std::string& out, const Metrics& m) {
   esc_field(out, m.algorithm);
@@ -503,6 +519,8 @@ void encode_metrics_row(std::string& out, const Metrics& m) {
   esc_field(out, m.error);
   out += '\t';
   out += std::to_string(m.wire_bytes);
+  out += '\t';
+  out += std::to_string(m.stage_bytes);
   out += '\t';
   put_hex64(out, m.digest);
   out += '\t';
@@ -535,10 +553,11 @@ void encode_metrics_row(std::string& out, const Metrics& m) {
   m.cancelled = (flags & 32u) != 0;
   m.error = unesc_field(f[7]);
   m.wire_bytes = get_i64(f[8]);
-  m.digest = get_hex64(f[9]);
-  m.value = get_double_bits(f[10]);
-  if (!f[11].empty())
-    for (const std::string_view e : split_view(f[11], ' '))
+  m.stage_bytes = get_i64(f[9]);
+  m.digest = get_hex64(f[10]);
+  m.value = get_double_bits(f[11]);
+  if (!f[12].empty())
+    for (const std::string_view e : split_view(f[12], ' '))
       m.extra.push_back(get_double_bits(e));
   return m;
 }
@@ -1022,6 +1041,8 @@ std::string SweepResult::to_json() const {
       append_i64(out, r.m.messages);
       out += ", \"wire_bytes\": ";
       append_i64(out, r.m.wire_bytes);
+      out += ", \"stage_bytes\": ";
+      append_i64(out, r.m.stage_bytes);
       char hex[24];
       std::snprintf(hex, sizeof(hex), "0x%016llx",
                     static_cast<unsigned long long>(r.m.digest));

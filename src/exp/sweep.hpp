@@ -129,6 +129,9 @@ struct Metrics {
   bool ok = false;
   std::string error;
   i64 wire_bytes = 0;
+  /// Bytes copied through the executor's stage buffers (0 = fully zero-copy:
+  /// every delivery landed direct, fused, or through in-place tiles).
+  i64 stage_bytes = 0;
   u64 digest = 0;
   bool used_cache = false;
   // Backend::tuned_dispatch

@@ -158,9 +158,9 @@ coll::Config Runner::cell_config(i64 nodes, i64 size_bytes, i64 elem_size) const
   return cfg;
 }
 
-RunResult Runner::simulate_lowered(const sched::CompiledSchedule& lowered,
-                                   Sized& sized) const {
-  const net::SimResult sim = net::simulate(lowered, *sized.routes, profile_.cost);
+namespace {
+
+RunResult to_run_result(const net::SimResult& sim) {
   RunResult out;
   out.seconds = sim.seconds;
   out.global_bytes = sim.traffic.global_bytes;
@@ -168,6 +168,13 @@ RunResult Runner::simulate_lowered(const sched::CompiledSchedule& lowered,
   out.messages = sim.traffic.messages;
   out.steps = sim.steps;
   return out;
+}
+
+}  // namespace
+
+RunResult Runner::simulate_lowered(const sched::CompiledSchedule& lowered,
+                                   Sized& sized) const {
+  return to_run_result(net::simulate(lowered, *sized.routes, profile_.cost));
 }
 
 std::shared_ptr<const sched::SizeFreeSchedule> Runner::cached_entry(
@@ -204,6 +211,37 @@ RunResult Runner::run(Collective coll, const coll::AlgorithmEntry& algo_in, i64 
     return simulate_lowered(lowered, sized);
   }
   return run_uncached(coll, algo, nodes, size_bytes);
+}
+
+std::vector<RunResult> Runner::run_sizes(Collective coll,
+                                         const coll::AlgorithmEntry& algo_in, i64 nodes,
+                                         std::span<const i64> sizes_bytes) {
+  std::vector<RunResult> out(sizes_bytes.size());
+  if (sizes_bytes.empty()) return out;
+  // The batched engine needs ONE schedule across the axis: fault demotion is
+  // size-dependent (the heuristic recommendation keys on size), so batch only
+  // when every size resolves to the same algorithm entry.
+  const coll::Config cfg = cell_config(nodes, sizes_bytes[0]);
+  const coll::AlgorithmEntry& resolved =
+      resolve_algorithm(coll, algo_in, cfg.p, sizes_bytes[0]);
+  bool uniform = true;
+  for (size_t s = 1; s < sizes_bytes.size() && uniform; ++s)
+    uniform = &resolve_algorithm(coll, algo_in, cfg.p, sizes_bytes[s]) == &resolved;
+  if (uniform) {
+    if (auto entry = cached_entry(coll, resolved, cfg)) {
+      Sized& sized = sized_for(nodes);
+      std::vector<i64> elem_counts(sizes_bytes.size());
+      for (size_t s = 0; s < sizes_bytes.size(); ++s)
+        elem_counts[s] = cell_config(nodes, sizes_bytes[s]).elem_count;
+      const std::vector<net::SimResult> sims = net::simulate_sizes(
+          *entry, elem_counts, cfg.elem_size, *sized.routes, profile_.cost);
+      for (size_t s = 0; s < sims.size(); ++s) out[s] = to_run_result(sims[s]);
+      return out;
+    }
+  }
+  for (size_t s = 0; s < sizes_bytes.size(); ++s)
+    out[s] = run(coll, algo_in, nodes, sizes_bytes[s]);
+  return out;
 }
 
 runtime::ExecPlan Runner::exec_plan(Collective coll, const coll::AlgorithmEntry& algo_in,
@@ -294,6 +332,7 @@ VerifiedRun Runner::run_verified_impl(Collective coll, const coll::AlgorithmEntr
     const auto res = runtime::execute<T>(plan, op, inputs, threads, inject);
     out.messages = res.messages;
     out.wire_bytes = res.wire_bytes;
+    out.stage_bytes = res.stage_bytes;
     out.error = runtime::verify<T>(plan, op, inputs, res);
     out.ok = out.error.empty();
     if (out.ok) out.digest = state_digest<T>(plan, res);
@@ -422,17 +461,20 @@ std::vector<std::pair<std::string, RunResult>> Runner::sweep(
     throw std::logic_error("unknown sweep kind");
   };
 
-  // Batch all queries of one (collective, nodes, size) cell -- typically the
-  // bine/binomial/sota rows of one table column -- into a single work item
-  // evaluating the union of their candidate algorithms exactly once. This
-  // kills the generation duplication between best_bine/best_binomial (their
-  // baseline families overlap with the sota set) and gives the schedule
-  // cache a deterministic access pattern regardless of thread count.
+  // Batch all queries of one (collective, nodes) cell -- every size row of
+  // one table column, across the bine/binomial/sota kinds -- into a single
+  // work item evaluating the union of their candidate algorithms exactly
+  // once, each across the cell's whole size axis via run_sizes (ONE
+  // structural pass per candidate instead of one per size). This kills the
+  // generation duplication between best_bine/best_binomial (their baseline
+  // families overlap with the sota set) and gives the schedule cache a
+  // deterministic access pattern regardless of thread count.
   struct Cell {
     Collective coll{};
     i64 nodes = 0;
-    i64 size_bytes = 0;
+    std::vector<i64> sizes;          ///< size axis, first-use order
     std::vector<size_t> query_indices;
+    std::vector<size_t> query_size;  ///< per query: index into `sizes`
     std::vector<std::string> names;  ///< union of candidates, first-use order
     /// Per query (parallel to query_indices): its candidates as indices into
     /// `names`, in the query's own selection order -- resolved once here so
@@ -440,14 +482,20 @@ std::vector<std::pair<std::string, RunResult>> Runner::sweep(
     std::vector<std::vector<size_t>> query_candidates;
   };
   std::vector<Cell> cells;
-  std::map<std::tuple<int, i64, i64>, size_t> cell_index;
+  std::map<std::pair<int, i64>, size_t> cell_index;
   for (size_t i = 0; i < queries.size(); ++i) {
     const SweepQuery& q = queries[i];
-    const auto key = std::make_tuple(static_cast<int>(q.coll), q.nodes, q.size_bytes);
+    const auto key = std::make_pair(static_cast<int>(q.coll), q.nodes);
     auto [it, inserted] = cell_index.emplace(key, cells.size());
-    if (inserted) cells.push_back(Cell{q.coll, q.nodes, q.size_bytes, {}, {}, {}});
+    if (inserted) cells.push_back(Cell{q.coll, q.nodes, {}, {}, {}, {}, {}});
     Cell& cell = cells[it->second];
     cell.query_indices.push_back(i);
+    auto spos = std::find(cell.sizes.begin(), cell.sizes.end(), q.size_bytes);
+    if (spos == cell.sizes.end()) {
+      cell.sizes.push_back(q.size_bytes);
+      spos = cell.sizes.end() - 1;
+    }
+    cell.query_size.push_back(static_cast<size_t>(spos - cell.sizes.begin()));
     std::vector<size_t> candidates;
     for (std::string& name : names_for(q)) {
       auto pos = std::find(cell.names.begin(), cell.names.end(), name);
@@ -465,21 +513,24 @@ std::vector<std::pair<std::string, RunResult>> Runner::sweep(
       static_cast<i64>(cells.size()),
       [&](i64 ci) {
         const Cell& cell = cells[static_cast<size_t>(ci)];
-        // One evaluation per candidate; nullopt = skipped (rank-count gate).
-        std::vector<std::optional<RunResult>> evaluated(cell.names.size());
+        // One size-axis evaluation per candidate; empty = skipped
+        // (rank-count gate).
+        std::vector<std::vector<RunResult>> evaluated(cell.names.size());
         for (size_t k = 0; k < cell.names.size(); ++k) {
           const auto& entry = coll::find_algorithm(cell.coll, cell.names[k]);
           if (!applicable(entry, cell.nodes)) continue;
-          evaluated[k] = run(cell.coll, entry, cell.nodes, cell.size_bytes);
+          evaluated[k] = run_sizes(cell.coll, entry, cell.nodes, cell.sizes);
         }
         // Answer each query by minimizing over its own candidate list in its
         // own order -- the exact selection (and tie-breaking) best_of runs.
         for (size_t v = 0; v < cell.query_indices.size(); ++v) {
+          const size_t s = cell.query_size[v];
           std::pair<std::string, RunResult> best{"", {}};
           best.second.seconds = std::numeric_limits<double>::infinity();
           for (const size_t k : cell.query_candidates[v]) {
             const auto& r = evaluated[k];
-            if (r && r->seconds < best.second.seconds) best = {cell.names[k], *r};
+            if (!r.empty() && r[s].seconds < best.second.seconds)
+              best = {cell.names[k], r[s]};
           }
           if (best.first.empty()) throw std::runtime_error("no applicable algorithm");
           results[cell.query_indices[v]] = std::move(best);

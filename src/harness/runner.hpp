@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,6 +49,9 @@ struct VerifiedRun {
   i64 messages = 0;
   i64 wire_bytes = 0;
   bool used_cache = false; ///< plan came from the shared size-free IR
+  /// Bytes the execution copied through stage buffers (ExecPlan::stage_bytes):
+  /// 0 means every delivery landed direct, fused, or through in-place tiles.
+  i64 stage_bytes = 0;
   /// FNV-1a digest over the final execution state (validity bytes,
   /// contributor words, element bit patterns) plus the layout scalars.
   /// Deterministic for any thread count and identical between the cached and
@@ -133,6 +137,16 @@ class Runner {
   [[nodiscard]] RunResult run_uncached(sched::Collective coll,
                                        const coll::AlgorithmEntry& algo, i64 nodes,
                                        i64 size_bytes);
+
+  /// Simulate one algorithm across a whole size axis in a single structural
+  /// pass (net::simulate_sizes): results[s] is bit-identical to
+  /// run(coll, algo, nodes, sizes_bytes[s]). Falls back to per-size run()
+  /// when the cell has no usable size-free entry (cache off or demoted) or
+  /// when fault demotion resolves different algorithms at different sizes.
+  [[nodiscard]] std::vector<RunResult> run_sizes(sched::Collective coll,
+                                                 const coll::AlgorithmEntry& algo,
+                                                 i64 nodes,
+                                                 std::span<const i64> sizes_bytes);
 
   /// Compiled execution plan for one cell, pulled from the schedule cache
   /// when possible (so verify-heavy runs skip generation on a hit, exactly

@@ -128,10 +128,19 @@ SimResult simulate(const sched::CompiledSchedule& cs, const RouteCache& rc,
   // produce the same max. The scratch persists per thread: every step
   // restores the accumulators to zero, so reuse across calls never leaks
   // bytes between simulations.
+  // Capacity cap: a sweep mixing large-fabric cells (dragonfly: thousands of
+  // links) with small ones (torus) must not pin the high-water allocation per
+  // worker thread forever, so once a small simulation follows a large one the
+  // scratch is released and reallocated at the small size.
+  constexpr size_t kLinkScratchCapEntries = size_t{1} << 16;
   const size_t num_links = static_cast<size_t>(rc.num_links());
   const bool dense_links = num_links <= 1024;
   static thread_local std::vector<i64> link_bytes;
   static thread_local std::vector<i64> touched;
+  if (link_bytes.capacity() > kLinkScratchCapEntries && num_links <= kLinkScratchCapEntries) {
+    std::vector<i64>().swap(link_bytes);
+    std::vector<i64>().swap(touched);
+  }
   if (link_bytes.size() < num_links) link_bytes.resize(num_links, 0);
   touched.clear();
 
@@ -209,6 +218,405 @@ SimResult simulate(const sched::CompiledSchedule& cs, const RouteCache& rc,
     result.seconds += max_link_time + max_rank_overhead;
   }
   return result;
+}
+
+// --- size-batched compiled engine ----------------------------------------------
+
+namespace {
+
+/// Per-thread scratch arena for simulate_sizes. Sweeps call the batched engine
+/// once per (cell, candidate) from long-lived pool threads, so reusing the
+/// vectors turns ~15 heap round-trips per call into plain resizes. trim()
+/// mirrors the scalar engine's cap so one huge schedule doesn't pin memory.
+struct BatchScratch {
+  std::vector<i64> full_bytes, base, rem;          // per-size geometry, padded
+  std::vector<i64> bytes;                          // bytes[i*P + s], op-major
+  std::vector<std::uint32_t> slot_of_link;         // link id -> compact slot
+  std::vector<i64> table_links;                    // first-touch link ids
+  std::vector<std::uint32_t> order, perm;          // provisional -> sorted slot
+  std::vector<double> slot_inv_bw;
+  std::vector<std::uint32_t> pair_index;           // rank*p + peer -> pair id
+  std::vector<size_t> pair_keys;                   // entries to reset after use
+  std::vector<std::uint32_t> pair_route_off, pair_route_len;
+  std::vector<RouteCache::ClassHops> pair_hops;
+  std::vector<double> pair_alpha;
+  std::vector<std::uint32_t> route_off, route_len, route_links;
+  std::vector<double> op_const;
+  std::vector<RouteCache::ClassHops> hops;
+  std::vector<i64> acc;                            // W-wide accumulator tiles
+  std::vector<std::uint32_t> touch_epoch, touched;
+  std::vector<double> seconds;
+  std::vector<i64> local_b, global_b, intra_b;
+
+  void trim() {
+    // Release capacity pinned by an earlier outsized schedule once a small
+    // call shows the arena no longer needs it. A call that used the space it
+    // holds keeps it -- freeing hot scratch would re-fault it next call.
+    constexpr size_t kCapBytes = size_t{1} << 23;
+    const auto shrink = [](auto& v) {
+      if (v.capacity() * sizeof(v[0]) > kCapBytes && v.size() * sizeof(v[0]) <= kCapBytes / 2)
+        std::decay_t<decltype(v)>().swap(v);
+    };
+    shrink(bytes);
+    shrink(acc);
+    shrink(route_links);
+    shrink(slot_of_link);
+    shrink(pair_index);
+  }
+};
+
+/// Everything the streaming pass reads, hoisted so the fixed-width template
+/// below stays a pure loop nest.
+struct StreamCtx {
+  const sched::SizeFreeSchedule* sf;
+  const i64* bytes;  ///< op-major rows, stride `stride`, zero in pad lanes
+  size_t stride;
+  const std::uint32_t* route_off;  ///< per-op segment into route_links
+  const std::uint32_t* route_len;
+  const std::uint32_t* route_links;
+  const double* op_const;
+  const RouteCache::ClassHops* hops;
+  const double* slot_inv_bw;
+  double inv_reduce_bw = 0;
+  double inv_mem_bw = 0;
+  i64* acc;                   ///< num_slots tiles of W, zeroed by the caller
+  std::uint32_t* touch_epoch;  ///< num_slots, reset to kNoSlot by the caller
+  std::vector<std::uint32_t>* touched;
+  double* seconds;  ///< outputs, written at [off, off+W)
+  i64* local_b;
+  i64* global_b;
+  i64* intra_b;
+};
+
+/// One pass over the op stream for lanes [off, off+W) of the padded size
+/// axis. W is a compile-time width so every inner loop is a fixed-size tile
+/// the autovectorizer turns into straight vector code; the accumulators live
+/// on the stack. Lanes never mix -- each size's FP adds and maxes run in
+/// exactly the scalar engine's order, so results stay bitwise identical; the
+/// zero pad lanes compute harmless finite garbage that is never read.
+template <size_t W>
+void stream_ops(const StreamCtx& cx, size_t off) {
+  const sched::SizeFreeSchedule& sf = *cx.sf;
+  const sched::OpKind* kind = sf.kind.data();
+  const std::int32_t* rank = sf.rank.data();
+  double sec[W] = {};
+  i64 lb[W] = {}, gb[W] = {}, ib2[W] = {};
+  for (size_t t = 0; t < sf.steps; ++t) {
+    double ov[W] = {}, max_ov[W] = {}, max_link[W] = {};
+    cx.touched->clear();
+    std::int32_t cur_rank = -1;
+    for (std::uint32_t i = sf.step_begin[t]; i < sf.step_begin[t + 1]; ++i) {
+      if (rank[i] != cur_rank) {  // ops are rank-grouped within a step
+        for (size_t s = 0; s < W; ++s) max_ov[s] = std::max(max_ov[s], ov[s]);
+        for (size_t s = 0; s < W; ++s) ov[s] = 0.0;
+        cur_rank = rank[i];
+      }
+      const i64* b = cx.bytes + static_cast<size_t>(i) * cx.stride + off;
+      switch (kind[i]) {
+        case sched::OpKind::send: {
+          const RouteCache::ClassHops& h = cx.hops[i];
+          // Skipping a zero-hop class skips i64 adds of zero: exact.
+          if (h.local) {
+            const i64 m = h.local;
+            for (size_t s = 0; s < W; ++s) lb[s] += m * b[s];
+          }
+          if (h.global) {
+            const i64 m = h.global;
+            for (size_t s = 0; s < W; ++s) gb[s] += m * b[s];
+          }
+          if (h.intra_node) {
+            const i64 m = h.intra_node;
+            for (size_t s = 0; s < W; ++s) ib2[s] += m * b[s];
+          }
+          const std::uint32_t ru0 = cx.route_off[i];
+          for (std::uint32_t u = ru0; u < ru0 + cx.route_len[i]; ++u) {
+            const std::uint32_t slot = cx.route_links[u];
+            if (cx.touch_epoch[slot] != static_cast<std::uint32_t>(t)) {
+              cx.touch_epoch[slot] = static_cast<std::uint32_t>(t);
+              cx.touched->push_back(slot);
+            }
+            i64* a = cx.acc + static_cast<size_t>(slot) * W;
+            for (size_t s = 0; s < W; ++s) a[s] += b[s];
+          }
+          const double c = cx.op_const[i];
+          for (size_t s = 0; s < W; ++s) ov[s] += c;
+          break;
+        }
+        case sched::OpKind::recv:
+          break;  // latency accounted on the sender side
+        case sched::OpKind::recv_reduce:
+          for (size_t s = 0; s < W; ++s)
+            ov[s] += static_cast<double>(b[s]) * cx.inv_reduce_bw;
+          break;
+        case sched::OpKind::local_perm: {
+          const double c = cx.op_const[i];
+          for (size_t s = 0; s < W; ++s)
+            ov[s] += static_cast<double>(b[s]) * cx.inv_mem_bw + c;
+          break;
+        }
+      }
+    }
+    for (size_t s = 0; s < W; ++s) max_ov[s] = std::max(max_ov[s], ov[s]);
+
+    // Strided max-reduce: each touched slot's tile is contiguous in s, so the
+    // scan is W-wide vector max ops. Loads are non-negative finite, so any
+    // reduction order yields the scalar engine's max bitwise.
+    for (const std::uint32_t slot : *cx.touched) {
+      const double ib = cx.slot_inv_bw[slot];
+      i64* a = cx.acc + static_cast<size_t>(slot) * W;
+      for (size_t s = 0; s < W; ++s)
+        max_link[s] = std::max(max_link[s], static_cast<double>(a[s]) * ib);
+      for (size_t s = 0; s < W; ++s) a[s] = 0;
+    }
+    for (size_t s = 0; s < W; ++s) sec[s] += max_link[s] + max_ov[s];
+  }
+  for (size_t s = 0; s < W; ++s) cx.seconds[off + s] = sec[s];
+  for (size_t s = 0; s < W; ++s) cx.local_b[off + s] = lb[s];
+  for (size_t s = 0; s < W; ++s) cx.global_b[off + s] = gb[s];
+  for (size_t s = 0; s < W; ++s) cx.intra_b[off + s] = ib2[s];
+}
+
+/// Wire-byte rows bytes[i*P + s], materialized once per cell.
+/// ranges_elem_count(rs, n, B) decomposes exactly as C*(n/B) + R(n%B): C is
+/// the total covered block count and R(rem) sums, over the *unwrapped*
+/// sub-runs [lo, hi) each range splits into, the ids below rem:
+/// max(0, min(hi, rem) - lo). All-i64, so each row holds precisely what
+/// resolve_into would bake per size; pad lanes (base = rem = 0) come out 0.
+/// One walk over the ranges builds the row in place in W-wide tiles -- the
+/// sub-runs are never materialized.
+template <size_t W>
+void build_byte_rows(const sched::SizeFreeSchedule& sf, i64 elem_size,
+                     const i64* full_bytes, const i64* base, const i64* rem, size_t P,
+                     i64* bytes) {
+  const i64 B = sf.nblocks;
+  const size_t nops = sf.num_ops();
+  const sched::OpKind* kind = sf.kind.data();
+  for (size_t i = 0; i < nops; ++i) {
+    // Plain recvs never read their row (latency is the sender's): skip the
+    // materialization and leave whatever is there -- it is dead scratch.
+    if (kind[i] == sched::OpKind::recv) continue;
+    i64* row = bytes + i * P;
+    if (sf.full_vector[i]) {
+      std::copy(full_bytes, full_bytes + P, row);
+      continue;
+    }
+    i64 c = 0;
+    for (std::uint32_t r = sf.block_begin[i]; r < sf.block_begin[i + 1]; ++r)
+      c += sf.ranges[r].count;
+    for (size_t k = 0; k < P; k += W) {
+      i64* rw = row + k;
+      const i64* rm = rem + k;
+      for (size_t s = 0; s < W; ++s) rw[s] = c * base[k + s];
+      for (std::uint32_t r = sf.block_begin[i]; r < sf.block_begin[i + 1]; ++r) {
+        const sched::BlockRange& br = sf.ranges[r];
+        const i64 head = std::min(br.count, B - br.begin);
+        const i64 lo = br.begin, hi = br.begin + head;
+        for (size_t s = 0; s < W; ++s)
+          rw[s] += std::max<i64>(0, std::min(hi, rm[s]) - lo);
+        const i64 tail = br.count - head;  // wrapped part, restarting at block 0
+        if (tail > 0)
+          for (size_t s = 0; s < W; ++s) rw[s] += std::min(tail, rm[s]);
+      }
+      for (size_t s = 0; s < W; ++s) rw[s] *= elem_size;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<SimResult> simulate_sizes(const sched::SizeFreeSchedule& sf,
+                                      std::span<const i64> elem_counts, i64 elem_size,
+                                      const RouteCache& rc, const CostParams& cp) {
+  assert(sf.size_independent && "demoted entries must fall back to fresh generation");
+  assert(sf.p == rc.num_ranks());
+  const size_t S = elem_counts.size();
+  std::vector<SimResult> results(S);
+  if (S == 0) return results;
+
+  const size_t nops = sf.num_ops();
+  const i64 B = sf.nblocks;
+  const sched::OpKind* kind = sf.kind.data();
+  const std::int32_t* rank = sf.rank.data();
+  const std::int32_t* peer = sf.peer.data();
+  const std::int32_t* extra_segs = sf.extra_segments.data();
+
+  static thread_local BatchScratch sc;
+
+  // Pad the size axis to a fixed lane width so every inner loop below is a
+  // compile-time-size tile. Pad lanes carry zero geometry: their bytes rows
+  // are zero and their outputs are discarded.
+  const size_t W = S <= 2 ? 2 : S <= 4 ? 4 : 8;
+  const size_t P = (S + W - 1) / W * W;
+
+  // Per-size vector geometry (the arithmetic resolve_into runs per entry).
+  sc.full_bytes.assign(P, 0);
+  sc.base.assign(P, 0);
+  sc.rem.assign(P, 0);
+  for (size_t s = 0; s < S; ++s) {
+    const i64 n = sf.space == sched::BlockSpace::pairwise ? elem_counts[s] * sf.p
+                                                          : elem_counts[s];
+    sc.full_bytes[s] = n * elem_size;
+    sc.base[s] = n / B;
+    sc.rem[s] = n % B;
+  }
+
+  sc.bytes.resize(nops * P);
+  switch (W) {
+    case 2:
+      build_byte_rows<2>(sf, elem_size, sc.full_bytes.data(), sc.base.data(),
+                         sc.rem.data(), P, sc.bytes.data());
+      break;
+    case 4:
+      build_byte_rows<4>(sf, elem_size, sc.full_bytes.data(), sc.base.data(),
+                         sc.rem.data(), P, sc.bytes.data());
+      break;
+    default:
+      build_byte_rows<8>(sf, elem_size, sc.full_bytes.data(), sc.base.data(),
+                         sc.rem.data(), P, sc.bytes.data());
+      break;
+  }
+
+  // --- compact link table + flattened per-send route CSR --------------------
+  // Routes are memoized per ordered (rank, peer) pair: a schedule touches
+  // O(p log p) pairs but repeats each across many steps (ring repeats its p
+  // neighbor pairs p-1 times), so the path walk, compact-slot assignment, and
+  // hop/alpha lookups run once per pair. Each send then just references its
+  // pair's slot segment -- the shared segments also keep the streaming pass's
+  // route reads small and cache-hot. Slots are assigned in first-touch order
+  // and re-sorted below. The overhead constants reproduce the scalar engine's
+  // expressions term for term so the FP accumulation matches it bitwise.
+  constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  sc.slot_of_link.assign(static_cast<size_t>(rc.num_links()), kNoSlot);
+  sc.table_links.clear();
+  // pair_index is kept all-kNoSlot between calls (touched entries are reset
+  // after the pass below), so reuse skips the O(p^2) clear.
+  const size_t np = static_cast<size_t>(sf.p);
+  if (sc.pair_index.size() < np * np) sc.pair_index.assign(np * np, kNoSlot);
+  sc.pair_keys.clear();
+  sc.pair_route_off.clear();
+  sc.pair_route_len.clear();
+  sc.pair_hops.clear();
+  sc.pair_alpha.clear();
+  sc.route_off.resize(nops);   // only sends are read; stale elsewhere is fine
+  sc.route_len.resize(nops);
+  sc.route_links.clear();
+  sc.op_const.resize(nops);    // send alpha+segments / perm segments
+  sc.hops.resize(nops);
+  i64 messages = 0;  // = send count: size-independent, so counted here once
+  for (size_t i = 0; i < nops; ++i) {
+    switch (kind[i]) {
+      case sched::OpKind::send: {
+        ++messages;
+        const size_t key = static_cast<size_t>(rank[i]) * np + static_cast<size_t>(peer[i]);
+        std::uint32_t& pid = sc.pair_index[key];
+        if (pid == kNoSlot) {
+          pid = static_cast<std::uint32_t>(sc.pair_route_off.size());
+          sc.pair_keys.push_back(key);
+          const std::span<const i64> path = rc.path(rank[i], peer[i]);
+          sc.pair_route_off.push_back(static_cast<std::uint32_t>(sc.route_links.size()));
+          sc.pair_route_len.push_back(static_cast<std::uint32_t>(path.size()));
+          for (const i64 link : path) {
+            std::uint32_t& slot = sc.slot_of_link[static_cast<size_t>(link)];
+            if (slot == kNoSlot) {
+              slot = static_cast<std::uint32_t>(sc.table_links.size());
+              sc.table_links.push_back(link);
+            }
+            sc.route_links.push_back(slot);
+          }
+          const RouteCache::ClassHops& h = rc.hops(rank[i], peer[i]);
+          sc.pair_hops.push_back(h);
+          sc.pair_alpha.push_back(h.global > 0 ? cp.alpha_global : cp.alpha_local);
+        }
+        sc.route_off[i] = sc.pair_route_off[pid];
+        sc.route_len[i] = sc.pair_route_len[pid];
+        sc.hops[i] = sc.pair_hops[pid];
+        sc.op_const[i] = sc.pair_alpha[pid] +
+                         static_cast<double>(extra_segs[i]) * cp.seg_overhead;
+        break;
+      }
+      case sched::OpKind::local_perm:
+        sc.op_const[i] = static_cast<double>(extra_segs[i]) * cp.seg_overhead;
+        break;
+      default:
+        break;
+    }
+  }
+  // Restore the all-kNoSlot invariant for the next call on this thread.
+  for (const size_t key : sc.pair_keys) sc.pair_index[key] = kNoSlot;
+
+  // Re-sort the slots by (LinkClass, id): the class partition keeps
+  // fault-degradation rescaling a contiguous column multiply per class (rc's
+  // inverse bandwidths already carry the degradation -- harness::Runner
+  // degrades the route cache exactly once at build). Only the CSR entries
+  // need remapping, one contiguous pass.
+  const size_t num_slots = sc.table_links.size();
+  const std::span<const LinkClass> link_class = rc.link_class();
+  sc.order.resize(num_slots);
+  for (size_t slot = 0; slot < num_slots; ++slot)
+    sc.order[slot] = static_cast<std::uint32_t>(slot);
+  std::sort(sc.order.begin(), sc.order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const i64 la = sc.table_links[a], lb = sc.table_links[b];
+    const LinkClass ca = link_class[static_cast<size_t>(la)];
+    const LinkClass cb = link_class[static_cast<size_t>(lb)];
+    if (ca != cb) return ca < cb;
+    return la < lb;
+  });
+  sc.perm.resize(num_slots);
+  sc.slot_inv_bw.resize(num_slots);
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    sc.perm[sc.order[slot]] = static_cast<std::uint32_t>(slot);
+    sc.slot_inv_bw[slot] =
+        rc.inv_bandwidth()[static_cast<size_t>(sc.table_links[sc.order[slot]])];
+  }
+  for (std::uint32_t& slot : sc.route_links) slot = sc.perm[slot];
+
+  // --- op-stream passes, size axis innermost in W-wide lanes ----------------
+  sc.touched.clear();
+  sc.touched.reserve(num_slots);
+  sc.seconds.resize(P);
+  sc.local_b.resize(P);
+  sc.global_b.resize(P);
+  sc.intra_b.resize(P);
+  StreamCtx cx;
+  cx.sf = &sf;
+  cx.bytes = sc.bytes.data();
+  cx.stride = P;
+  cx.route_off = sc.route_off.data();
+  cx.route_len = sc.route_len.data();
+  cx.route_links = sc.route_links.data();
+  cx.op_const = sc.op_const.data();
+  cx.hops = sc.hops.data();
+  cx.slot_inv_bw = sc.slot_inv_bw.data();
+  cx.inv_reduce_bw = 1.0 / cp.reduce_bandwidth;
+  cx.inv_mem_bw = 1.0 / cp.mem_bandwidth;
+  cx.touched = &sc.touched;
+  cx.seconds = sc.seconds.data();
+  cx.local_b = sc.local_b.data();
+  cx.global_b = sc.global_b.data();
+  cx.intra_b = sc.intra_b.data();
+  const auto run_chunks = [&](auto width) {
+    constexpr size_t kW = decltype(width)::value;
+    for (size_t off = 0; off < P; off += kW) {
+      sc.acc.assign(num_slots * kW, 0);  // accumulator tiles, one per slot
+      sc.touch_epoch.assign(num_slots, kNoSlot);
+      cx.acc = sc.acc.data();
+      cx.touch_epoch = sc.touch_epoch.data();
+      stream_ops<kW>(cx, off);
+    }
+  };
+  switch (W) {
+    case 2: run_chunks(std::integral_constant<size_t, 2>{}); break;
+    case 4: run_chunks(std::integral_constant<size_t, 4>{}); break;
+    default: run_chunks(std::integral_constant<size_t, 8>{}); break;
+  }
+
+  for (size_t s = 0; s < S; ++s) {
+    results[s].seconds = sc.seconds[s];
+    results[s].steps = sf.steps;
+    results[s].traffic = {sc.local_b[s], sc.global_b[s], sc.intra_b[s], messages};
+  }
+  sc.trim();
+  return results;
 }
 
 // --- Schedule-level conveniences -----------------------------------------------

@@ -7,6 +7,7 @@
 #include "net/topology.hpp"
 #include "sched/compiled.hpp"
 #include "sched/schedule.hpp"
+#include "sched/schedule_cache.hpp"
 
 /// Laying a schedule onto a topology: exact per-link-class traffic accounting
 /// (the paper's headline metric) and an alpha-beta-gamma cost model with
@@ -85,6 +86,27 @@ struct SimResult {
 /// Compiled fast path over pre-lowered IR and pre-built routes.
 [[nodiscard]] SimResult simulate(const sched::CompiledSchedule& cs, const RouteCache& rc,
                                  const CostParams& cp);
+
+/// Size-batched compiled engine: one structural pass per cell across the
+/// whole size axis. Walks the cached size-free op stream ONCE, materializing
+/// per-op wire-byte *coefficients* (the closed form of `ranges_elem_count`:
+/// bytes_i(n) = C_i * (n / nblocks) + R_i(n % nblocks), all-i64) and a
+/// flattened per-send route CSR over a compact link table (unique touched
+/// links, gathered inverse bandwidths, partitioned by LinkClass), then
+/// streams every element count through size-major accumulator tiles -- the
+/// per-link scan and max-reduce amortize across the axis and vectorize.
+///
+/// Result [s] is bit-identical to
+///   simulate(resolve(sf, elem_counts[s], elem_size), rc, cp)
+/// -- the per-size oracle the parity suite loops: byte resolution runs the
+/// same integer arithmetic, per-rank overheads accumulate in the same FP
+/// order (ops outer, sizes inner, flushed at rank boundaries), and per-step
+/// maxima reduce over non-negative finite terms, where max is
+/// order-independent bitwise. `sf` must be size_independent.
+[[nodiscard]] std::vector<SimResult> simulate_sizes(const sched::SizeFreeSchedule& sf,
+                                                    std::span<const i64> elem_counts,
+                                                    i64 elem_size, const RouteCache& rc,
+                                                    const CostParams& cp);
 
 /// Naive oracles (virtual routing per op, hash-map accumulators), retained
 /// verbatim for the parity suite and the before/after benchmark.

@@ -21,10 +21,12 @@
 /// offsets), one u64 word run per block for the contributor set, one validity
 /// byte per block. A step is two phases over the plan's delivery records:
 ///
-///   1. *stage*: copy every delivery's payload (sender's block data +
-///      contributor words) into a staging buffer sized once from the plan's
-///      prefix sums -- this realizes the pre-step snapshot semantics without
-///      per-message allocation;
+///   1. *stage*: copy the genuinely overlapping payload tiles (sender's
+///      block data + contributor words of ids whose read cell is written
+///      this step -- see ExecPlan::staged_id) into a staging buffer sized
+///      once from the plan's prefix sums; this realizes the pre-step
+///      snapshot semantics without per-message allocation, and most plans
+///      stage nothing at all (ExecPlan::stage_bytes == 0);
 ///   2. *apply*: walk deliveries in receiver op order, replacing slots
 ///      (recv) or folding them (recv_reduce) with the duplicate-contributor
 ///      check done wordwise on the flat bitsets.
@@ -70,6 +72,7 @@ struct CompiledExecResult {
   std::vector<std::uint8_t> valid;    ///< p * nblocks
   i64 messages = 0;
   i64 wire_bytes = 0;
+  i64 stage_bytes = 0;  ///< payload bytes copied through stage buffers (plan property)
 
   [[nodiscard]] std::span<const T> block(Rank r, i64 b) const {
     const size_t off = static_cast<size_t>(r) * static_cast<size_t>(plan->elems_per_rank) +
@@ -162,11 +165,12 @@ class CompiledExecutor {
                                  pl.elem_prefix[pl.block_begin[ob]] >=
                              kParallelGrainElems;
 
-      // Phase 1: stage the payloads of non-direct deliveries from pre-step
-      // state (direct ones read the sender's live buffer in phase 2 -- its
-      // cells are untouched this step, so live == pre-step). Disjoint
-      // staging slices per delivery; exceptions propagate through
-      // parallel_for exactly as a sequential throw would.
+      // Phase 1: stage the payloads of non-direct deliveries' overlapping
+      // tiles from pre-step state (direct deliveries -- and the in-place
+      // tiles of partially overlapping ones -- read the sender's live buffer
+      // in phase 2: their cells are untouched this step, so live ==
+      // pre-step). Disjoint staging slices per delivery; exceptions
+      // propagate through parallel_for exactly as a sequential throw would.
       for_range(oe - ob, [&](i64 jj) {
         const std::uint32_t j = ob + static_cast<std::uint32_t>(jj);
         if (pl.direct[j] || pl.fused[j]) return;
@@ -176,6 +180,7 @@ class CompiledExecutor {
         i64 elem_off = pl.stage_elem_off[j];
         i64 block_off = pl.stage_block_off[j];
         for (std::uint32_t k = pl.block_begin[j]; k < pl.block_begin[j + 1]; ++k) {
+          if (!pl.staged_id[k]) continue;  // in-place tile: validated in phase 2
           const i64 id = pl.ids[k];
           if (!res.valid[static_cast<size_t>(sender * pl.nblocks + id)])
             throw std::runtime_error("step " + std::to_string(t) + ": rank " +
@@ -216,16 +221,21 @@ class CompiledExecutor {
             const i64 len = pl.block_len(id);
             const size_t slot = static_cast<size_t>(r * pl.nblocks + id);
             const size_t sslot = static_cast<size_t>(sender * pl.nblocks + id);
-            if (is_direct && !res.valid[sslot])
+            // In-place sources: the whole delivery (direct) or this id's
+            // pair tile (non-direct, unmarked) -- either way the sender's
+            // cell is untouched this step, so its live buffer IS the
+            // pre-step snapshot and nothing was staged for it.
+            const bool in_place = is_direct || !pl.staged_id[k];
+            if (in_place && !res.valid[sslot])
               throw std::runtime_error("step " + std::to_string(t) + ": rank " +
                                        std::to_string(sender) + " sends invalid block " +
                                        std::to_string(id));
             T* dst = rdata + pl.block_off[static_cast<size_t>(id)];
-            const T* src = is_direct ? sdata + pl.block_off[static_cast<size_t>(id)]
-                                     : stage.data() + elem_off;
+            const T* src = in_place ? sdata + pl.block_off[static_cast<size_t>(id)]
+                                    : stage.data() + elem_off;
             u64* dst_c = res.contrib.data() + slot * static_cast<size_t>(pl.words);
             const u64* src_c =
-                is_direct
+                in_place
                     ? res.contrib.data() + sslot * static_cast<size_t>(pl.words)
                     : stage_contrib.data() +
                           static_cast<size_t>(block_off) * static_cast<size_t>(pl.words);
@@ -252,8 +262,10 @@ class CompiledExecutor {
               corrupt_low_bit(dst[0]);
               corrupt_pending = false;
             }
-            elem_off += len;
-            ++block_off;
+            if (!in_place) {  // stage slices hold staged tiles only
+              elem_off += len;
+              ++block_off;
+            }
           }
         }
       });
@@ -318,6 +330,7 @@ class CompiledExecutor {
     // with equal bytes), so send-side accounting falls out of the plan.
     res.messages = static_cast<i64>(pl.num_ops());
     res.wire_bytes = pl.total_wire_bytes;
+    res.stage_bytes = pl.stage_bytes;
     return res;
   }
 

@@ -36,6 +36,7 @@ ExecSkeleton analyze_structure(size_t steps, std::span<const std::uint32_t> step
   sk.fused.assign(nops, 0);
   sk.step_fused_begin.reserve(steps + 1);
   sk.step_fused_begin.push_back(0);
+  sk.staged_id.assign(sk.ids.size(), 0);
   sk.stage_block_off.assign(nops, 0);
   // Per-cell stamps for the zero-copy analyses below, epoch-keyed by step so
   // they are never cleared: `written` marks cells some delivery writes this
@@ -105,13 +106,22 @@ ExecSkeleton analyze_structure(size_t steps, std::span<const std::uint32_t> step
       sk.fused_pair.push_back(j2);
     }
     sk.step_fused_begin.push_back(static_cast<std::uint32_t>(sk.fused_pair.size() / 2));
-    // Staging block offsets for what remains (element offsets are
-    // size-dependent and computed in finalize_sizes).
+    // Pair-tiling over what remains: a non-direct delivery failed the
+    // whole-delivery test, but usually only part of its payload genuinely
+    // overlaps this step's writes. Mark exactly the ids whose read cell is
+    // written (those stage); the rest execute in place like a direct
+    // delivery. Staging block offsets count only the marked ids (element
+    // offsets are size-dependent and computed in finalize_sizes).
     i64 staged_blocks = 0;
     for (std::uint32_t j = ob; j < oe; ++j) {
       sk.stage_block_off[j] = staged_blocks;
-      if (!sk.direct[j] && !sk.fused[j])
-        staged_blocks += sk.block_begin[j + 1] - sk.block_begin[j];
+      if (sk.direct[j] || sk.fused[j]) continue;
+      for (std::uint32_t k = sk.block_begin[j]; k < sk.block_begin[j + 1]; ++k)
+        if (written[static_cast<size_t>(from[j] * nblocks + sk.ids[k])] ==
+            static_cast<std::uint32_t>(t)) {
+          sk.staged_id[k] = 1;
+          ++staged_blocks;
+        }
     }
     sk.step_run_begin.push_back(static_cast<std::uint32_t>(sk.run_begin.size()));
     sk.max_step_blocks = std::max<i64>(sk.max_step_blocks, staged_blocks);
@@ -159,6 +169,7 @@ void ExecPlan::finalize_sizes() {
   fused = skeleton->fused;
   fused_pair = skeleton->fused_pair;
   step_fused_begin = skeleton->step_fused_begin;
+  staged_id = skeleton->staged_id;
   stage_block_off = skeleton->stage_block_off;
   max_step_blocks = skeleton->max_step_blocks;
 
@@ -187,14 +198,17 @@ void ExecPlan::finalize_sizes() {
 
   stage_elem_off.assign(num_ops(), 0);
   max_step_elems = 0;
+  stage_bytes = 0;
   for (size_t t = 0; t < steps; ++t) {
     i64 staged_elems = 0;
     for (std::uint32_t j = step_begin[t]; j < step_begin[t + 1]; ++j) {
       stage_elem_off[j] = staged_elems;
-      if (!direct[j] && !fused[j])
-        staged_elems += elem_prefix[block_begin[j + 1]] - elem_prefix[block_begin[j]];
+      if (direct[j] || fused[j]) continue;
+      for (std::uint32_t k = block_begin[j]; k < block_begin[j + 1]; ++k)
+        if (staged_id[k]) staged_elems += elem_prefix[k + 1] - elem_prefix[k];
     }
     max_step_elems = std::max<i64>(max_step_elems, staged_elems);
+    stage_bytes += staged_elems * elem_size;
   }
 }
 

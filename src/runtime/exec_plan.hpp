@@ -67,6 +67,8 @@ struct ExecSkeleton {
   std::vector<std::uint8_t> fused;
   std::vector<std::uint32_t> fused_pair;
   std::vector<std::uint32_t> step_fused_begin;
+  /// Pair-tiling mask (see ExecPlan::staged_id): one byte per `ids` entry.
+  std::vector<std::uint8_t> staged_id;
   std::vector<i64> stage_block_off;
   i64 max_step_blocks = 0;
 
@@ -112,8 +114,19 @@ struct ExecPlan {
   std::span<const std::uint8_t> fused;
   std::span<const std::uint32_t> fused_pair;
   std::span<const std::uint32_t> step_fused_begin;
+  /// Pair-tiling: the per-id refinement of `direct`. For a non-direct,
+  /// non-fused delivery, staged_id[k] (k indexing `ids`) marks the ids whose
+  /// read cell (from, ids[k]) IS written by some delivery of the same step --
+  /// only those genuinely overlapping payloads stage. Maximal runs of equal
+  /// mask decompose the delivery into disjoint source/target tile pairs; the
+  /// unmarked tiles read the sender's live buffer in place, exactly like a
+  /// direct delivery (per-cell data, contributor words and validity bytes are
+  /// disjoint per (rank, id), so in-place tiles race with nothing phase 2
+  /// writes). All-zero across direct and fused deliveries.
+  std::span<const std::uint8_t> staged_id;
   /// Staging offsets of non-direct deliveries (blocks within the step's
-  /// stage buffer); unused for direct and fused ones.
+  /// stage buffer, counting only staged_id-marked ids); unused for direct
+  /// and fused ones.
   std::span<const i64> stage_block_off;
 
   // Size-dependent columns: always materialized per plan.
@@ -126,6 +139,11 @@ struct ExecPlan {
   i64 max_step_elems = 0;                   ///< staging buffer size (elements)
   i64 max_step_blocks = 0;                  ///< staging buffer size (blocks)
   i64 total_wire_bytes = 0;
+  /// Total payload bytes one execution copies through stage buffers (sum over
+  /// steps of staged elements x elem_size; contributor words excluded). A
+  /// static plan property: 0 means the plan executes fully zero-copy --
+  /// every delivery lands direct, fused, or through in-place tiles.
+  i64 stage_bytes = 0;
 
   ExecPlan() = default;
   ExecPlan(ExecPlan&&) noexcept = default;

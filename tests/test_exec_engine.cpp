@@ -353,3 +353,79 @@ TEST(ExecEngine, SecondRunnerHitsProcessWideScheduleCache) {
   EXPECT_EQ(after.misses, before.misses);     // nothing regenerated...
   EXPECT_GE(after.hits, before.hits + 2u);    // ...simulate AND execute both hit
 }
+
+// Pair-tiling: a delivery whose read cells only PARTIALLY overlap the cells
+// written at its sender this step must stage exactly the overlapping tile --
+// the rest reads the sender's live buffer in place -- while staying bit-exact
+// with the nested reference.
+TEST(ExecEngine, PairTilingStagesOnlyOverlappingTiles) {
+  coll::Config cfg;
+  cfg.p = 4;
+  cfg.elem_count = 8;  // nblocks = 4 -> 2 elems per block
+  cfg.elem_size = 8;
+  sched::Schedule sch = coll::make_base(sched::Collective::allreduce, cfg, "tiled",
+                                        sched::BlockSpace::per_vector);
+  // One step, hand-built for partial overlap:
+  //   0 -> 1 reduce {0,1,2,3}: read cells (0, 0..3); only (0, 2) is written
+  //                            below -> middle tile stages, the rest in place
+  //   1 -> 0 reduce {2}      : rank 1 is fully written above -> stages
+  //   2 -> 3 reduce {1,2}    : rank 2 only has block 0 written -> direct
+  //   3 -> 2 reduce {0}      : rank 3 only has blocks 1,2 written -> direct
+  sch.add_exchange(0, 0, 1, sched::BlockSet::all(4), true);
+  sch.add_exchange(0, 1, 0, sched::BlockSet::single(2), true);
+  sch.add_exchange(0, 2, 3, sched::BlockSet::run(1, 2), true);
+  sch.add_exchange(0, 3, 2, sched::BlockSet::single(0), true);
+  sch.normalize_steps();
+
+  const runtime::ExecPlan plan = runtime::ExecPlan::lower(sch);
+  ASSERT_EQ(plan.num_ops(), 4u);
+  for (size_t j = 0; j < 4; ++j) {
+    SCOPED_TRACE("delivery to " + std::to_string(plan.to[j]));
+    std::vector<int> mask;
+    for (auto k = plan.block_begin[j]; k < plan.block_begin[j + 1]; ++k)
+      mask.push_back(plan.staged_id[k]);
+    if (plan.to[j] == 1) {  // 0 -> 1: only id 2 overlaps
+      EXPECT_FALSE(plan.direct[j]);
+      EXPECT_EQ(mask, (std::vector<int>{0, 0, 1, 0}));
+    } else if (plan.to[j] == 0) {  // 1 -> 0: fully overlapping
+      EXPECT_FALSE(plan.direct[j]);
+      EXPECT_EQ(mask, (std::vector<int>{1}));
+    } else {  // 2 -> 3 and 3 -> 2: no overlap at all
+      EXPECT_TRUE(plan.direct[j]);
+      EXPECT_EQ(std::count(mask.begin(), mask.end(), 1), 0);
+    }
+    EXPECT_FALSE(plan.fused[j]);  // id lists differ: no symmetric fusion
+  }
+  // 2 staged blocks x 2 elems x 8 bytes; without tiling all 5 non-direct
+  // blocks would copy (80 bytes).
+  EXPECT_EQ(plan.stage_bytes, 32);
+
+  const auto inputs = make_inputs(cfg.p, cfg.elem_count);
+  const auto ref = runtime::execute_reference<u64>(sch, runtime::ReduceOp::sum, inputs);
+  for (const i64 threads : {i64{1}, i64{4}}) {
+    const auto got = runtime::execute<u64>(plan, runtime::ReduceOp::sum, inputs, threads);
+    expect_matches_reference(ref, got, sch.p, sch.nblocks,
+                             "tiled threads=" + std::to_string(threads));
+    EXPECT_EQ(got.stage_bytes, plan.stage_bytes);
+  }
+}
+
+// Every registered algorithm's plan executes fully zero-copy: the direct /
+// fused / pair-tiling analysis leaves nothing for the stage buffers. This is
+// the ROADMAP's "stage-copy bytes ~= 0" target, promoted to an invariant.
+TEST(ExecEngine, RegistryPlansExecuteZeroCopy) {
+  for (const sched::Collective coll : coll::all_collectives()) {
+    for (const auto& entry : coll::algorithms_for(coll)) {
+      for (const i64 p : {16, 24}) {
+        if (entry.pow2_only && !is_pow2(p)) continue;
+        coll::Config cfg;
+        cfg.p = p;
+        cfg.elem_count = 3 * p + 5;
+        cfg.elem_size = 8;
+        const runtime::ExecPlan plan = runtime::ExecPlan::lower(entry.make(cfg));
+        EXPECT_EQ(plan.stage_bytes, 0)
+            << to_string(coll) << "/" << entry.name << " p=" << p;
+      }
+    }
+  }
+}
