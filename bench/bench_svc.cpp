@@ -1,0 +1,223 @@
+// Selection-service throughput and plan-cache benchmark.
+//
+// Two gates, both snapshotted to BENCH_svc.json:
+//
+//   * select throughput -- an in-process daemon with a dense decision table,
+//     hammered by concurrent client connections (default 4) pipelining
+//     batches of binary select frames. The aggregate must clear one million
+//     lookups per second: the number that justifies a daemon over per-process
+//     artifact loads. Hardware thread count is recorded alongside -- client
+//     and server share this machine, so the figure is conservative.
+//   * plan-level result cache -- a sweep job submitted twice: the first
+//     executes on the sharded engine (journal armed), the second must be a
+//     cache hit returning the byte-identical result stream with the engine
+//     never re-running (asserted through the daemon's own stats counters).
+//
+// Exit 1 when either gate fails.
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coll/registry.hpp"
+#include "fault/fault.hpp"
+#include "net/profiles.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "tune/decision_table.hpp"
+#include "tune/json.hpp"
+
+using namespace bine;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr const char* kSocket = "bine_svc_bench.sock";
+constexpr const char* kTablePath = "bench_svc_table.json";
+constexpr const char* kJournalDir = "bench_svc_journal";
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// A dense table for the served profile: every collective at a spread of
+/// node counts, two size intervals each, algorithms straight from the
+/// registry (so artifact round-trip never demotes).
+tune::DecisionTable make_table(const net::SystemProfile& profile) {
+  tune::DecisionTable table;
+  table.set_profile(profile.name, tune::profile_fingerprint(profile));
+  for (const sched::Collective coll : coll::all_collectives()) {
+    const auto& algos = coll::algorithms_for(coll);
+    const std::string& small = algos.front().name;
+    const std::string& large = algos.back().name;
+    for (const i64 p : {16, 64, 256, 1024}) {
+      std::vector<tune::SizeInterval> intervals;
+      intervals.push_back({0, 1 << 16, small});
+      intervals.push_back({1 << 16, tune::kNoUpperBound, large});
+      table.set_cell(tune::CellKey{profile.name, coll, p}, std::move(intervals));
+    }
+  }
+  return table;
+}
+
+/// One connection's hammer loop: pipelined batches until the deadline, all
+/// requests hitting table cells.
+u64 hammer(const net::SystemProfile& profile, u64 fingerprint, double seconds,
+           i64 batch_size) {
+  svc::Client client = svc::Client::connect_to_unix(kSocket);
+  std::vector<svc::SelectRequest> batch;
+  batch.reserve(static_cast<size_t>(batch_size));
+  const std::vector<sched::Collective>& colls = coll::all_collectives();
+  const i64 ps[] = {16, 64, 256, 1024};
+  const i64 sizes[] = {1024, 1 << 14, 1 << 18, 1 << 22};
+  for (i64 i = 0; i < batch_size; ++i) {
+    svc::SelectRequest req;
+    req.profile = profile.name;
+    req.fingerprint = fingerprint;
+    req.coll = colls[static_cast<size_t>(i) % colls.size()];
+    req.p = ps[i % 4];
+    req.bytes = sizes[(i / 4) % 4];
+    batch.push_back(std::move(req));
+  }
+  u64 done = 0;
+  const auto t0 = Clock::now();
+  do {
+    done += client.select_batch(batch).size();
+  } while (seconds_since(t0) < seconds);
+  return done;
+}
+
+exp::SweepPlan small_plan() {
+  exp::SweepPlan plan;
+  plan.name = "svc_bench_plan";
+  plan.systems = {exp::SystemSpec{net::lumi_profile()}};
+  plan.colls = {sched::Collective::allreduce};
+  plan.series = {exp::Series::best_bine(false), exp::Series::best_sota()};
+  plan.nodes.counts = {16, 32};
+  plan.sizes = {1024, 1 << 16};
+  plan.threads = 1;
+  return plan;
+}
+
+void cleanup() {
+  std::remove(kTablePath);
+  std::remove(kSocket);
+  std::remove((std::string(kJournalDir) + "/.keep").c_str());
+  // Journals are content-keyed; remove whatever this run created.
+  std::remove((std::string(kJournalDir)).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsetenv("BINE_FAULT_SPEC");
+  double seconds = 2.0;
+  i64 connections = 4;
+  i64 batch_size = 2048;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string a = argv[i];
+    if (a == "--seconds") seconds = std::atof(argv[i + 1]);
+    else if (a == "--connections") connections = std::atoll(argv[i + 1]);
+    else if (a == "--batch") batch_size = std::atoll(argv[i + 1]);
+  }
+
+  const net::SystemProfile lumi = net::lumi_profile();
+  const u64 fingerprint = tune::profile_fingerprint(lumi);
+  make_table(lumi).save(kTablePath);
+  ::mkdir(kJournalDir, 0755);
+
+  svc::ServerOptions opts;
+  opts.unix_socket = kSocket;
+  opts.profiles = {lumi};
+  opts.table_path = kTablePath;
+  opts.journal_dir = kJournalDir;
+  opts.tune_on_miss = false;  // the throughput phase measures pure lookups
+  svc::Server server(std::move(opts));
+  server.start();
+
+  // --- select throughput ----------------------------------------------------
+  (void)hammer(lumi, fingerprint, 0.2, batch_size);  // warm-up, untimed
+  std::vector<std::thread> threads;
+  std::vector<u64> counts(static_cast<size_t>(connections), 0);
+  const auto t0 = Clock::now();
+  for (i64 c = 0; c < connections; ++c)
+    threads.emplace_back([&, c] {
+      counts[static_cast<size_t>(c)] =
+          hammer(lumi, fingerprint, seconds, batch_size);
+    });
+  for (std::thread& t : threads) t.join();
+  const double wall = seconds_since(t0);
+  u64 total = 0;
+  for (const u64 n : counts) total += n;
+  const double lookups_per_sec = static_cast<double>(total) / wall;
+
+  // --- plan-level result cache ----------------------------------------------
+  svc::Client client = svc::Client::connect_to_unix(kSocket);
+  const exp::SweepPlan plan = small_plan();
+
+  const auto m0 = Clock::now();
+  const svc::SweepReply miss = client.sweep(plan);
+  const double plan_miss_ms = seconds_since(m0) * 1e3;
+
+  const auto h0 = Clock::now();
+  const svc::SweepReply hit = client.sweep(plan);
+  const double plan_hit_ms = seconds_since(h0) * 1e3;
+
+  const std::string stats_doc = client.stats();
+  const tune::json::Value stats = tune::json::Value::parse(stats_doc);
+  const auto& sweep_stats = stats.at("sweep", "sweep");
+  const i64 cache_hits = sweep_stats.at("cache_hits", "cache_hits").as_i64("cache_hits");
+  const i64 cache_misses =
+      sweep_stats.at("cache_misses", "cache_misses").as_i64("cache_misses");
+
+  const bool cache_identical = !miss.begin.cache_hit && hit.begin.cache_hit &&
+                               hit.result_json == miss.result_json &&
+                               hit.plan_fingerprint == miss.plan_fingerprint;
+  const bool cache_no_rerun = cache_misses == 1 && cache_hits == 1;
+  const bool throughput_ok = lookups_per_sec >= 1e6;
+
+  server.stop();
+  cleanup();
+
+  std::printf("select: %.0f lookups/sec over %lld connections (batch %lld, %.2f s)\n",
+              lookups_per_sec, static_cast<long long>(connections),
+              static_cast<long long>(batch_size), wall);
+  std::printf("sweep:  miss %.1f ms (executed %lld cells), hit %.1f ms\n",
+              plan_miss_ms, static_cast<long long>(miss.begin.executed),
+              plan_hit_ms);
+  std::printf("cache:  identical bytes %s, no re-execution %s\n",
+              cache_identical ? "ok" : "FAILED", cache_no_rerun ? "ok" : "FAILED");
+  if (!throughput_ok)
+    std::fprintf(stderr, "FAIL: %.0f lookups/sec < 1M/sec\n", lookups_per_sec);
+  if (!cache_identical || !cache_no_rerun)
+    std::fprintf(stderr, "FAIL: plan cache contract broken\n");
+
+  if (fault::AtomicFile out("BENCH_svc.json"); std::FILE* f = out.handle()) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"svc\",\n"
+                 "  \"connections\": %lld,\n"
+                 "  \"batch\": %lld,\n"
+                 "  \"seconds\": %.2f,\n"
+                 "  \"lookups_per_sec\": %.0f,\n"
+                 "  \"lookups_total\": %llu,\n"
+                 "  \"plan_miss_ms\": %.2f,\n"
+                 "  \"plan_hit_ms\": %.2f,\n"
+                 "  \"plan_cache_hit_identical\": %s,\n"
+                 "  \"plan_cache_no_rerun\": %s,\n"
+                 "  \"hardware_threads\": %u\n"
+                 "}\n",
+                 static_cast<long long>(connections),
+                 static_cast<long long>(batch_size), wall, lookups_per_sec,
+                 static_cast<unsigned long long>(total), plan_miss_ms, plan_hit_ms,
+                 cache_identical ? "true" : "false",
+                 cache_no_rerun ? "true" : "false",
+                 std::thread::hardware_concurrency());
+    if (out.commit()) std::printf("wrote BENCH_svc.json\n");
+  }
+  return (throughput_ok && cache_identical && cache_no_rerun) ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Service quickstart: spin up an in-process selection daemon, ask it which
+// algorithm to run, submit a sweep job, and watch the plan-level cache turn
+// the resubmission into a byte-identical replay.
+//
+// In production the server side lives in the bine_svcd binary and clients
+// connect from other processes (see tools/bine_svc.cpp); everything below
+// works identically over that boundary -- the in-process setup just makes
+// the example self-contained.
+#include <cstdio>
+
+#include "exp/sweep.hpp"
+#include "net/profiles.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "tune/decision_table.hpp"
+
+using namespace bine;
+
+int main() {
+  // 1. Start a daemon serving the LUMI machine model on a Unix socket.
+  //    No table artifact: the table starts empty and fills tune-on-miss.
+  const char* socket_path = "service_quickstart.sock";
+  svc::ServerOptions opts;
+  opts.unix_socket = socket_path;
+  opts.profiles = {net::lumi_profile()};
+  opts.tuner.size_grid = {1 << 10, 1 << 20};  // small tune grid: this is a demo
+  svc::Server server(std::move(opts));
+  server.start();
+  std::printf("daemon serving on %s\n", socket_path);
+
+  // 2. Connect and ask for an algorithm. The fingerprint in the request is
+  //    the staleness handshake: it must match the server's machine model.
+  svc::Client client = svc::Client::connect_to_unix(socket_path);
+  svc::SelectRequest req;
+  req.profile = "lumi";
+  req.fingerprint = tune::profile_fingerprint(net::lumi_profile());
+  req.coll = sched::Collective::allreduce;
+  req.p = 16;
+  req.bytes = 1 << 20;
+
+  // First ask misses (empty table) -> the daemon tunes the cell, merges it
+  // into the live table, and answers from the merged result.
+  const svc::SelectReply first = client.select(req);
+  std::printf("allreduce @ p=16, 1 MiB: %s (%s)\n", first.algorithm.c_str(),
+              first.from_table ? "tuned on miss" : "heuristic");
+
+  // Second ask is a pure table hit -- this path sustains >1M lookups/sec.
+  const svc::SelectReply second = client.select(req);
+  std::printf("asked again:              %s (%s)\n", second.algorithm.c_str(),
+              second.from_table ? "table hit" : "heuristic");
+
+  // 3. Submit a sweep job: the full exp::SweepPlan goes over the wire.
+  exp::SweepPlan plan;
+  plan.name = "quickstart_sweep";
+  plan.systems = {exp::SystemSpec{net::lumi_profile()}};
+  plan.colls = {sched::Collective::allreduce};
+  plan.series = {exp::Series::best_bine(false), exp::Series::best_sota()};
+  plan.nodes.counts = {16, 32};
+  plan.sizes = {1 << 10, 1 << 20};
+
+  const svc::SweepReply run1 = client.sweep(plan);
+  std::printf("sweep #1: executed %lld cells, %zu bytes of results\n",
+              static_cast<long long>(run1.begin.executed),
+              run1.result_json.size());
+
+  // Resubmitting the identical plan never re-executes: the daemon caches
+  // results by plan fingerprint and streams back the same bytes.
+  const svc::SweepReply run2 = client.sweep(plan);
+  std::printf("sweep #2: %s, byte-identical: %s\n",
+              run2.begin.cache_hit ? "cache hit" : "executed",
+              run2.result_json == run1.result_json ? "yes" : "NO");
+
+  // 4. Service counters -- one JSON document per `stats` request.
+  std::printf("\nstats:\n%s", client.stats().c_str());
+
+  server.stop();
+  std::remove(socket_path);
+  return 0;
+}

@@ -8,6 +8,11 @@ namespace bine {
 
 using i64 = std::int64_t;
 using u64 = std::uint64_t;
+// Narrow fixed-width aliases for wire formats (svc framing) and compact
+// tables; arithmetic stays in i64/u64.
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
 
 /// Rank identifier inside a communicator of `p` ranks. Signed so that
 /// intermediate arithmetic (r - p, rotations) stays natural.

@@ -88,6 +88,14 @@ const char* to_string(Backend b) {
   return "?";
 }
 
+Backend backend_from_string(std::string_view name) {
+  for (const Backend b : {Backend::simulate, Backend::traffic,
+                          Backend::execute_verified, Backend::tuned_dispatch,
+                          Backend::custom})
+    if (name == to_string(b)) return b;
+  throw std::invalid_argument("exp: unknown backend \"" + std::string(name) + "\"");
+}
+
 // --- plan validation + compilation -------------------------------------------
 
 namespace {

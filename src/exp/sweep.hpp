@@ -104,6 +104,9 @@ enum class Backend {
   custom,            ///< plan.metric() -- pluggable backend for the oddball axes
 };
 [[nodiscard]] const char* to_string(Backend b);
+/// Inverse of to_string(Backend); throws std::invalid_argument on unknown
+/// names (the plan codec's wire schema).
+[[nodiscard]] Backend backend_from_string(std::string_view name);
 
 /// One row's measurements. Which fields are meaningful depends on the
 /// backend; `skipped` marks a single-algorithm series whose algorithm

@@ -285,6 +285,42 @@ std::shared_ptr<const FaultSpec> parse_spec(std::string_view text) {
   return spec;
 }
 
+std::string spec_to_string(const FaultSpec& spec) {
+  std::string out;
+  const auto put = [&out](std::string_view key, const std::string& value) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  const auto fmt_double = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  const auto put_list = [&put](std::string_view key, const auto& items) {
+    std::string value;
+    for (size_t i = 0; i < items.size(); ++i)
+      value += (i ? ":" : "") + std::to_string(items[i]);
+    put(key, value);
+  };
+  if (spec.seed != 0) put("seed", std::to_string(spec.seed));
+  if (spec.degrade_local != 1.0) put("degrade_local", fmt_double(spec.degrade_local));
+  if (spec.degrade_global != 1.0)
+    put("degrade_global", fmt_double(spec.degrade_global));
+  if (spec.degrade_intra_node != 1.0)
+    put("degrade_intra", fmt_double(spec.degrade_intra_node));
+  if (spec.link_outage_fraction != 0.0)
+    put("outage", fmt_double(spec.link_outage_fraction));
+  if (!spec.dead_links.empty()) put_list("dead_links", spec.dead_links);
+  if (spec.dead_link_bandwidth != 1.0)
+    put("dead_bw", fmt_double(spec.dead_link_bandwidth));
+  if (!spec.failed_ranks.empty()) put_list("failed", spec.failed_ranks);
+  if (spec.drop_fraction != 0.0) put("drop", fmt_double(spec.drop_fraction));
+  if (spec.corrupt_fraction != 0.0) put("corrupt", fmt_double(spec.corrupt_fraction));
+  return out;
+}
+
 std::shared_ptr<const FaultSpec> spec_from_env() {
   const char* env = std::getenv("BINE_FAULT_SPEC");
   if (env == nullptr || *env == '\0') return nullptr;

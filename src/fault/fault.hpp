@@ -160,6 +160,14 @@ struct FaultSpec {
 /// Parse a spec string (the BINE_FAULT_SPEC syntax above); empty -> nullptr.
 [[nodiscard]] std::shared_ptr<const FaultSpec> parse_spec(std::string_view text);
 
+/// Canonical inverse of parse_spec: key=value pairs in a fixed order, only
+/// for fields that differ from their defaults (an all-defaults spec is the
+/// empty string, which parse_spec maps back to "no spec"). Doubles print as
+/// %.17g, so parse_spec(spec_to_string(s)) reproduces s exactly and equal
+/// specs serialize byte-identically -- the wire codec for fault models
+/// carried on serialized sweep plans.
+[[nodiscard]] std::string spec_to_string(const FaultSpec& spec);
+
 /// Bounded deterministic retry backoff: sleeps base_ms * 2^(attempt-1)
 /// milliseconds, capped at cap_ms; base_ms == 0 sleeps nothing (the default
 /// everywhere results must stay time-independent).

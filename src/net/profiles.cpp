@@ -1,5 +1,7 @@
 #include "net/profiles.hpp"
 
+#include <stdexcept>
+
 namespace bine::net {
 
 namespace {
@@ -69,6 +71,7 @@ SystemProfile mn5_profile() {
 SystemProfile fugaku_profile(std::vector<i64> dims) {
   SystemProfile p;
   p.name = "fugaku";
+  p.dims = dims;
   std::string d;
   for (size_t i = 0; i < dims.size(); ++i)
     d += (i ? "x" : "") + std::to_string(dims[i]);
@@ -107,6 +110,27 @@ SystemProfile multigpu_profile() {
 
 std::vector<SystemProfile> main_profiles() {
   return {lumi_profile(), leonardo_profile(), mn5_profile()};
+}
+
+SystemProfile profile_by_name(std::string_view name,
+                              const std::vector<i64>& fugaku_dims) {
+  if (name == "fugaku") {
+    if (fugaku_dims.empty())
+      throw std::invalid_argument("net: profile \"fugaku\" requires sub-torus dims");
+    for (const i64 d : fugaku_dims)
+      if (d < 1)
+        throw std::invalid_argument("net: fugaku sub-torus dims must be >= 1");
+    return fugaku_profile(fugaku_dims);
+  }
+  if (!fugaku_dims.empty())
+    throw std::invalid_argument("net: only \"fugaku\" takes sub-torus dims, not \"" +
+                                std::string(name) + "\"");
+  if (name == "lumi") return lumi_profile();
+  if (name == "leonardo") return leonardo_profile();
+  if (name == "mn5") return mn5_profile();
+  if (name == "multigpu") return multigpu_profile();
+  throw std::invalid_argument("net: unknown profile name \"" + std::string(name) +
+                              "\"");
 }
 
 }  // namespace bine::net

@@ -3,6 +3,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/simulate.hpp"
@@ -23,6 +24,11 @@ struct SystemProfile {
   CostParams cost;
   /// Build a topology instance sized for >= `nodes` endpoints.
   std::function<std::unique_ptr<Topology>(i64 nodes)> build;
+  /// Factory arguments of the named constructor that produced this profile
+  /// (the fugaku sub-torus dims; empty for the fixed-shape profiles). The
+  /// `build` lambda cannot travel over a wire, so profile_by_name(name, dims)
+  /// is how a serialized plan reconstructs the machine model exactly.
+  std::vector<i64> dims;
   /// Optional fault model (fault/fault.hpp): degraded/dead links, failed
   /// ranks, lossy deliveries. Null or trivial = the healthy machine, and the
   /// evaluation pipeline is bit-identical to a profile without the field.
@@ -54,5 +60,16 @@ struct SystemProfile {
 
 /// The profiles evaluated by the table/figure benches, in paper order.
 [[nodiscard]] std::vector<SystemProfile> main_profiles();
+
+/// Reconstruct a named profile: "lumi", "leonardo", "mn5", "multigpu", or
+/// "fugaku" (which requires non-empty `fugaku_dims`; the other names reject
+/// dims). The reconstruction is exact -- name, description and cost
+/// parameters match the factory above bit-for-bit, so
+/// tune::profile_fingerprint agrees across processes. This is what lets a
+/// serialized exp::SweepPlan (whose SystemProfile::build lambda cannot
+/// travel) name its machine models over the wire. Throws
+/// std::invalid_argument on unknown names or bad dims.
+[[nodiscard]] SystemProfile profile_by_name(std::string_view name,
+                                            const std::vector<i64>& fugaku_dims = {});
 
 }  // namespace bine::net

@@ -1,0 +1,103 @@
+#include "svc/client.hpp"
+
+#include <stdexcept>
+
+#include "exp/plan_codec.hpp"
+
+namespace bine::svc {
+
+Client Client::connect_to_unix(const std::string& path) {
+  return Client(connect_unix(path));
+}
+
+Client Client::connect_to_tcp(u16 port) {
+  return Client(connect_tcp_loopback(port));
+}
+
+void Client::send_frame(MsgType type, std::string_view payload) {
+  std::string out;
+  put_frame(out, type, payload);
+  if (!send_all(fd_, out))
+    throw std::runtime_error("svc: server closed the connection mid-send");
+}
+
+Client::OwnedFrame Client::read_frame() {
+  for (;;) {
+    size_t consumed = 0;
+    if (const std::optional<FrameView> f = peek_frame(inbuf_, consumed)) {
+      OwnedFrame frame{f->type, std::string(f->payload)};
+      inbuf_.erase(0, consumed);
+      return frame;
+    }
+    if (!recv_some(fd_, inbuf_))
+      throw std::runtime_error("svc: connection closed mid-response");
+  }
+}
+
+Client::OwnedFrame Client::expect(MsgType type) {
+  OwnedFrame frame = read_frame();
+  if (frame.type == MsgType::error) {
+    const ErrorFrame e = decode_error(frame.payload);
+    throw ServiceError(e.code, e.message);
+  }
+  if (frame.type != type)
+    throw std::runtime_error(std::string("svc: expected ") + to_string(type) +
+                             " frame, got " + to_string(frame.type));
+  return frame;
+}
+
+SelectReply Client::select(const SelectRequest& req) {
+  send_frame(MsgType::select, encode_select(req));
+  return decode_select_ok(expect(MsgType::select_ok).payload);
+}
+
+std::vector<SelectReply> Client::select_batch(
+    const std::vector<SelectRequest>& reqs) {
+  std::string out;
+  for (const SelectRequest& req : reqs)
+    put_frame(out, MsgType::select, encode_select(req));
+  if (!out.empty() && !send_all(fd_, out))
+    throw std::runtime_error("svc: server closed the connection mid-send");
+  std::vector<SelectReply> replies;
+  replies.reserve(reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i)
+    replies.push_back(decode_select_ok(expect(MsgType::select_ok).payload));
+  return replies;
+}
+
+SweepReply Client::sweep(const exp::SweepPlan& plan) {
+  return sweep_json(exp::plan_to_json(plan));
+}
+
+SweepReply Client::sweep_json(std::string_view plan_json) {
+  send_frame(MsgType::sweep, plan_json);
+  SweepReply reply;
+  reply.begin = decode_sweep_begin(expect(MsgType::sweep_begin).payload);
+  for (;;) {
+    OwnedFrame frame = read_frame();
+    if (frame.type == MsgType::error) {
+      const ErrorFrame e = decode_error(frame.payload);
+      throw ServiceError(e.code, e.message);
+    }
+    if (frame.type == MsgType::sweep_end) {
+      reply.plan_fingerprint = decode_sweep_end(frame.payload);
+      return reply;
+    }
+    if (frame.type != MsgType::sweep_data)
+      throw std::runtime_error(std::string("svc: unexpected ") +
+                               to_string(frame.type) + " inside a sweep stream");
+    reply.result_json += frame.payload;
+  }
+}
+
+std::string Client::stats() {
+  send_frame(MsgType::stats, {});
+  return expect(MsgType::stats_ok).payload;
+}
+
+void Client::shutdown_server() {
+  send_frame(MsgType::shutdown, {});
+  (void)expect(MsgType::shutdown_ok);
+}
+
+}  // namespace bine::svc

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "svc/proto.hpp"
+#include "svc/socket.hpp"
+
+namespace bine::exp {
+struct SweepPlan;
+}
+
+/// Client side of the selection service: one connection, blocking calls,
+/// strict request/response ordering (the server's contract). Pipelining is
+/// explicit -- select_batch() writes every request in one send and then
+/// drains the replies -- because that is the shape that reaches a million
+/// lookups per second; per-call select() pays a round trip each.
+///
+/// Not thread-safe: one Client per thread (connections are cheap; the
+/// server is thread-per-connection anyway).
+namespace bine::svc {
+
+/// An `error` frame surfaced as an exception, structured code attached.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(to_string(code)) + ": " + message),
+        code_(code) {}
+  [[nodiscard]] ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// A sweep job's full response.
+struct SweepReply {
+  SweepBegin begin;
+  std::string result_json;   ///< the exp::SweepResult::to_json() bytes
+  u64 plan_fingerprint = 0;  ///< the server's cache key (sweep_end payload)
+};
+
+class Client {
+ public:
+  [[nodiscard]] static Client connect_to_unix(const std::string& path);
+  [[nodiscard]] static Client connect_to_tcp(u16 port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// One lookup, one round trip. Throws ServiceError on an error frame,
+  /// std::runtime_error on transport failure.
+  [[nodiscard]] SelectReply select(const SelectRequest& req);
+
+  /// Pipelined lookups: all requests in one send, replies drained in order.
+  /// Throws ServiceError on the first error reply.
+  [[nodiscard]] std::vector<SelectReply> select_batch(
+      const std::vector<SelectRequest>& reqs);
+
+  /// Submit a plan (serialized through exp::plan_to_json) and collect the
+  /// streamed result. Blocks for the whole job on a cache miss.
+  [[nodiscard]] SweepReply sweep(const exp::SweepPlan& plan);
+  /// Same, for an already-serialized plan document.
+  [[nodiscard]] SweepReply sweep_json(std::string_view plan_json);
+
+  /// The server's stats document (JSON).
+  [[nodiscard]] std::string stats();
+
+  /// Ask the server to shut down (it drains and exits its wait()).
+  void shutdown_server();
+
+ private:
+  explicit Client(Fd fd) : fd_(std::move(fd)) {}
+
+  struct OwnedFrame {
+    MsgType type{};
+    std::string payload;
+  };
+  /// Block until one complete frame arrives. Throws on EOF / transport
+  /// errors / malformed framing.
+  [[nodiscard]] OwnedFrame read_frame();
+  /// read_frame, unwrapping `error` frames into ServiceError and checking
+  /// the expected type.
+  [[nodiscard]] OwnedFrame expect(MsgType type);
+  void send_frame(MsgType type, std::string_view payload);
+
+  Fd fd_;
+  std::string inbuf_;
+};
+
+}  // namespace bine::svc

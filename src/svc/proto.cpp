@@ -1,0 +1,233 @@
+#include "svc/proto.hpp"
+
+#include <array>
+
+namespace bine::svc {
+
+namespace {
+
+void put_u16(std::string& out, u16 v) {
+  out += static_cast<char>(v & 0xff);
+  out += static_cast<char>((v >> 8) & 0xff);
+}
+
+void put_u64(std::string& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_u32(std::string& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_string(std::string& out, std::string_view s) {
+  if (s.size() > 0xffff) throw ProtoError("svc: string field over 64 KiB");
+  put_u16(out, static_cast<u16>(s.size()));
+  out += s;
+}
+
+/// Bounds-checked field reader over one frame payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  u8 get_u8() { return take(1)[0]; }
+
+  u16 get_u16() {
+    const auto b = take(2);
+    return static_cast<u16>(b[0] | (b[1] << 8));
+  }
+
+  u64 get_u64() {
+    const auto b = take(8);
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return v;
+  }
+
+  i64 get_i64() { return static_cast<i64>(get_u64()); }
+
+  std::string get_string() {
+    const u16 len = get_u16();
+    const std::string_view s = data_.substr(pos_, len);
+    if (s.size() != len) throw ProtoError("svc: truncated string field");
+    pos_ += len;
+    return std::string(s);
+  }
+
+  void done() const {
+    if (pos_ != data_.size()) throw ProtoError("svc: trailing payload bytes");
+  }
+
+ private:
+  /// Next n raw bytes as unsigned values.
+  std::array<u8, 8> take(size_t n) {
+    if (data_.size() - pos_ < n) throw ProtoError("svc: truncated payload");
+    std::array<u8, 8> b{};
+    for (size_t i = 0; i < n; ++i)
+      b[i] = static_cast<u8>(data_[pos_ + i]);
+    pos_ += n;
+    return b;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+sched::Collective coll_from_u8(u8 v) {
+  if (v > static_cast<u8>(sched::Collective::alltoall))
+    throw ProtoError("svc: collective tag out of range");
+  return static_cast<sched::Collective>(v);
+}
+
+}  // namespace
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::select: return "select";
+    case MsgType::sweep: return "sweep";
+    case MsgType::stats: return "stats";
+    case MsgType::shutdown: return "shutdown";
+    case MsgType::select_ok: return "select_ok";
+    case MsgType::sweep_begin: return "sweep_begin";
+    case MsgType::sweep_data: return "sweep_data";
+    case MsgType::sweep_end: return "sweep_end";
+    case MsgType::stats_ok: return "stats_ok";
+    case MsgType::shutdown_ok: return "shutdown_ok";
+    case MsgType::error: return "error";
+  }
+  return "?";
+}
+
+const char* to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::bad_frame: return "bad_frame";
+    case ErrorCode::unknown_profile: return "unknown_profile";
+    case ErrorCode::stale_fingerprint: return "stale_fingerprint";
+    case ErrorCode::unknown_collective: return "unknown_collective";
+    case ErrorCode::bad_plan: return "bad_plan";
+    case ErrorCode::internal: return "internal";
+    case ErrorCode::shutting_down: return "shutting_down";
+  }
+  return "?";
+}
+
+void put_frame(std::string& out, MsgType type, std::string_view payload) {
+  if (payload.size() + 1 > kMaxFrameBytes)
+    throw ProtoError("svc: frame over kMaxFrameBytes");
+  put_u32(out, static_cast<u32>(payload.size() + 1));
+  out += static_cast<char>(type);
+  out += payload;
+}
+
+std::optional<FrameView> peek_frame(std::string_view buf, size_t& consumed) {
+  if (buf.size() < 4) return std::nullopt;
+  u32 len = 0;
+  for (int i = 3; i >= 0; --i)
+    len = (len << 8) | static_cast<u8>(buf[static_cast<size_t>(i)]);
+  if (len == 0) throw ProtoError("svc: zero-length frame");
+  if (len > kMaxFrameBytes) throw ProtoError("svc: frame length over kMaxFrameBytes");
+  if (buf.size() - 4 < len) return std::nullopt;
+  FrameView f;
+  f.type = static_cast<MsgType>(static_cast<u8>(buf[4]));
+  f.payload = buf.substr(5, len - 1);
+  consumed = 4 + static_cast<size_t>(len);
+  return f;
+}
+
+std::string encode_select(const SelectRequest& req) {
+  std::string out;
+  put_string(out, req.profile);
+  put_u64(out, req.fingerprint);
+  out += static_cast<char>(static_cast<u8>(req.coll));
+  put_u64(out, static_cast<u64>(req.p));
+  put_u64(out, static_cast<u64>(req.bytes));
+  return out;
+}
+
+SelectRequest decode_select(std::string_view payload) {
+  Cursor c(payload);
+  SelectRequest req;
+  req.profile = c.get_string();
+  req.fingerprint = c.get_u64();
+  req.coll = coll_from_u8(c.get_u8());
+  req.p = c.get_i64();
+  req.bytes = c.get_i64();
+  c.done();
+  return req;
+}
+
+std::string encode_select_ok(const SelectReply& rep) {
+  std::string out;
+  put_string(out, rep.algorithm);
+  out += static_cast<char>(rep.from_table ? 1 : 0);
+  return out;
+}
+
+void put_select_ok_frame(std::string& out, std::string_view algorithm,
+                         bool from_table) {
+  if (algorithm.size() > 0xffff) throw ProtoError("svc: algorithm name over 64 KiB");
+  // length = type(1) + strlen(2) + name + flag(1)
+  put_u32(out, static_cast<u32>(algorithm.size() + 4));
+  out += static_cast<char>(MsgType::select_ok);
+  put_u16(out, static_cast<u16>(algorithm.size()));
+  out += algorithm;
+  out += static_cast<char>(from_table ? 1 : 0);
+}
+
+SelectReply decode_select_ok(std::string_view payload) {
+  Cursor c(payload);
+  SelectReply rep;
+  rep.algorithm = c.get_string();
+  rep.from_table = c.get_u8() != 0;
+  c.done();
+  return rep;
+}
+
+std::string encode_sweep_begin(const SweepBegin& b) {
+  std::string out;
+  out += static_cast<char>(b.cache_hit ? 1 : 0);
+  put_u64(out, static_cast<u64>(b.replayed));
+  put_u64(out, static_cast<u64>(b.executed));
+  return out;
+}
+
+SweepBegin decode_sweep_begin(std::string_view payload) {
+  Cursor c(payload);
+  SweepBegin b;
+  b.cache_hit = c.get_u8() != 0;
+  b.replayed = c.get_i64();
+  b.executed = c.get_i64();
+  c.done();
+  return b;
+}
+
+std::string encode_sweep_end(u64 plan_fingerprint) {
+  std::string out;
+  put_u64(out, plan_fingerprint);
+  return out;
+}
+
+u64 decode_sweep_end(std::string_view payload) {
+  Cursor c(payload);
+  const u64 fp = c.get_u64();
+  c.done();
+  return fp;
+}
+
+std::string encode_error(ErrorCode code, std::string_view message) {
+  std::string out;
+  put_u16(out, static_cast<u16>(code));
+  put_string(out, message);
+  return out;
+}
+
+ErrorFrame decode_error(std::string_view payload) {
+  Cursor c(payload);
+  ErrorFrame e;
+  e.code = static_cast<ErrorCode>(c.get_u16());
+  e.message = c.get_string();
+  c.done();
+  return e;
+}
+
+}  // namespace bine::svc

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/types.hpp"
+#include "sched/schedule.hpp"
+
+/// Wire protocol of the selection service: length-prefixed binary frames over
+/// a byte stream (Unix-domain or TCP-loopback socket).
+///
+///   frame   := u32 length (LE, = 1 + |payload|) | u8 type | payload
+///
+/// Integers are little-endian, strings are u16 length + raw bytes. The hot
+/// request (select) is fully binary -- ~40 bytes each way, no parsing beyond
+/// bounds-checked field reads -- which is what makes a million lookups per
+/// second through a socket realistic. The cold requests carry JSON payloads
+/// (a canonical exp::SweepPlan in, a SweepResult/stats document out) framed
+/// the same way.
+///
+/// Request/response state machine (per connection, strictly ordered):
+///
+///   select   -> select_ok | error
+///   sweep    -> sweep_begin, sweep_data*, sweep_end | error
+///   stats    -> stats_ok | error
+///   shutdown -> shutdown_ok (then the server closes)
+///
+/// Clients may pipeline: the server drains every complete frame in its read
+/// buffer and answers them in order with one gathered write (the batching
+/// that amortizes syscalls under load). Errors are per-request -- an error
+/// frame answers the offending request and the connection stays usable --
+/// except `bad_frame`, after which the stream is unsynchronized and the
+/// server closes it.
+///
+/// This header is pure byte codec -- no sockets -- so every encoder/decoder
+/// is unit-testable in process.
+namespace bine::svc {
+
+/// One byte of frame type. Requests < 0x80, responses >= 0x80.
+enum class MsgType : u8 {
+  select = 0x01,
+  sweep = 0x02,
+  stats = 0x03,
+  shutdown = 0x04,
+
+  select_ok = 0x81,
+  sweep_begin = 0x82,
+  sweep_data = 0x83,
+  sweep_end = 0x84,
+  stats_ok = 0x85,
+  shutdown_ok = 0x86,
+  error = 0xff,
+};
+[[nodiscard]] const char* to_string(MsgType t);
+
+/// Structured error codes carried on `error` frames.
+enum class ErrorCode : u16 {
+  bad_frame = 1,          ///< unparseable frame; the server closes the stream
+  unknown_profile = 2,    ///< select named a profile the server does not load
+  stale_fingerprint = 3,  ///< profile known, but the client's fingerprint differs
+  unknown_collective = 4,
+  bad_plan = 5,           ///< sweep payload failed plan_from_json / validation
+  internal = 6,           ///< server-side exception (message carries what())
+  shutting_down = 7,      ///< request arrived/ran during shutdown drain
+};
+[[nodiscard]] const char* to_string(ErrorCode c);
+
+/// Frames above this are rejected as bad_frame: large enough for any result
+/// stream chunk or plan, small enough that a garbage length prefix cannot
+/// make a reader allocate gigabytes.
+inline constexpr size_t kMaxFrameBytes = size_t{64} << 20;
+
+/// Malformed bytes (truncated fields, bad tags, oversize frames). The
+/// server maps it to ErrorCode::bad_frame; the client surfaces it.
+class ProtoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// --- framing ---------------------------------------------------------------
+
+/// Append one complete frame (length prefix included) to `out`.
+void put_frame(std::string& out, MsgType type, std::string_view payload);
+
+struct FrameView {
+  MsgType type{};
+  std::string_view payload;  ///< points into the caller's buffer
+};
+
+/// Parse the first complete frame of `buf`. Returns nullopt when the buffer
+/// holds only a partial frame (read more); on success sets `consumed` to the
+/// frame's full encoded size. Throws ProtoError on an oversize or zero
+/// length prefix.
+[[nodiscard]] std::optional<FrameView> peek_frame(std::string_view buf,
+                                                  size_t& consumed);
+
+/// --- payload codecs --------------------------------------------------------
+
+struct SelectRequest {
+  std::string profile;
+  u64 fingerprint = 0;  ///< tune::profile_fingerprint the client tuned against
+  sched::Collective coll{};
+  i64 p = 0;
+  i64 bytes = 0;
+};
+[[nodiscard]] std::string encode_select(const SelectRequest& req);
+[[nodiscard]] SelectRequest decode_select(std::string_view payload);
+
+struct SelectReply {
+  std::string algorithm;
+  bool from_table = false;  ///< false = heuristic fallback answered a miss
+};
+[[nodiscard]] std::string encode_select_ok(const SelectReply& rep);
+[[nodiscard]] SelectReply decode_select_ok(std::string_view payload);
+/// Append a complete select_ok frame straight into `out` -- the server's hot
+/// path, one reply per lookup: no intermediate payload string, no
+/// per-reply allocation beyond the batch buffer's amortized growth.
+void put_select_ok_frame(std::string& out, std::string_view algorithm,
+                         bool from_table);
+
+/// First frame of a sweep response: what the job cost the server.
+struct SweepBegin {
+  bool cache_hit = false;  ///< answered from the plan-level result cache
+  i64 replayed = 0;        ///< cells answered from the job's journal
+  i64 executed = 0;        ///< cells measured for this reply
+};
+[[nodiscard]] std::string encode_sweep_begin(const SweepBegin& b);
+[[nodiscard]] SweepBegin decode_sweep_begin(std::string_view payload);
+
+/// sweep_end payload: the plan fingerprint the result was cached under.
+[[nodiscard]] std::string encode_sweep_end(u64 plan_fingerprint);
+[[nodiscard]] u64 decode_sweep_end(std::string_view payload);
+
+struct ErrorFrame {
+  ErrorCode code{};
+  std::string message;
+};
+[[nodiscard]] std::string encode_error(ErrorCode code, std::string_view message);
+[[nodiscard]] ErrorFrame decode_error(std::string_view payload);
+
+}  // namespace bine::svc

@@ -1,0 +1,148 @@
+#include "svc/socket.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace bine::svc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("svc: " + what + ": " + std::strerror(errno));
+}
+
+void make_unix_addr(const std::string& path, sockaddr_un& addr) {
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("svc: unix socket path too long: " + path);
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+}
+
+}  // namespace
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Fd::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+Fd listen_unix(const std::string& path, int backlog) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket(AF_UNIX)");
+  sockaddr_un addr;
+  make_unix_addr(path, addr);
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    fail("bind(" + path + ")");
+  if (::listen(fd.get(), backlog) != 0) fail("listen(" + path + ")");
+  return fd;
+}
+
+Fd listen_tcp_loopback(u16 port, u16* bound_port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    fail("bind(127.0.0.1:" + std::to_string(port) + ")");
+  if (::listen(fd.get(), 64) != 0) fail("listen(tcp)");
+  if (bound_port) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) != 0)
+      fail("getsockname");
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket(AF_UNIX)");
+  sockaddr_un addr;
+  make_unix_addr(path, addr);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    fail("connect(" + path + ")");
+  return fd;
+}
+
+Fd connect_tcp_loopback(u16 port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    fail("connect(127.0.0.1:" + std::to_string(port) + ")");
+  // Batched request/response traffic: never trade latency for Nagle
+  // coalescing on the reply write.
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Fd accept_one(const Fd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      Fd conn(fd);
+      const int one = 1;
+      ::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    // EOF-like conditions after shutdown_read()/close() of the listener.
+    if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED) return Fd();
+    fail("accept");
+  }
+}
+
+bool send_all(const Fd& fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd.get(), data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      fail("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool recv_some(const Fd& fd, std::string& buf) {
+  char chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf.append(chunk, static_cast<size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return false;
+    fail("recv");
+  }
+}
+
+}  // namespace bine::svc

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/types.hpp"
+
+/// Thin POSIX socket wrapper for the selection service: RAII file
+/// descriptors, Unix-domain and TCP-loopback listeners/connectors, and the
+/// two transfer shapes the protocol needs (drain-what-arrived reads, send-
+/// everything writes). No framing knowledge here -- that is svc/proto.hpp --
+/// and no threads; the server owns concurrency.
+namespace bine::svc {
+
+/// Owning file descriptor. Move-only; close() is idempotent.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+  /// Half-close the read side (shutdown(SHUT_RD)): in-flight writes still
+  /// drain, but blocked accept()/recv() calls wake with EOF -- the server's
+  /// graceful-stop lever.
+  void shutdown_read();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listen on a Unix-domain socket at `path` (an existing socket file is
+/// unlinked first -- stale from a killed daemon). Throws std::runtime_error
+/// with errno text on failure.
+[[nodiscard]] Fd listen_unix(const std::string& path, int backlog = 64);
+
+/// Listen on 127.0.0.1:`port` (port 0 = kernel-assigned; `bound_port`
+/// receives the actual port either way).
+[[nodiscard]] Fd listen_tcp_loopback(u16 port, u16* bound_port = nullptr);
+
+[[nodiscard]] Fd connect_unix(const std::string& path);
+[[nodiscard]] Fd connect_tcp_loopback(u16 port);
+
+/// Accept one connection; an invalid Fd means the listener was shut down or
+/// closed (graceful stop), any other failure throws.
+[[nodiscard]] Fd accept_one(const Fd& listener);
+
+/// Write all of `data` (retrying short writes / EINTR). Returns false when
+/// the peer is gone (EPIPE / ECONNRESET); throws on other errors.
+bool send_all(const Fd& fd, std::string_view data);
+
+/// One recv() of whatever is available, appended to `buf`. Returns false on
+/// orderly EOF; throws on errors (EINTR retried).
+bool recv_some(const Fd& fd, std::string& buf);
+
+}  // namespace bine::svc

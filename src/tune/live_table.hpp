@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "core/types.hpp"
+#include "tune/decision_table.hpp"
+
+namespace bine::tune {
+
+/// A DecisionTable served concurrently while being updated: the
+/// merge-under-service primitive of the selection daemon.
+///
+/// Readers take an immutable snapshot (one shared_ptr copy under a mutex --
+/// no reader ever blocks on a merge in progress, and a snapshot stays valid
+/// for as long as the caller holds it, however many installs happen
+/// meanwhile). Writers copy-on-write: merge() clones the current table,
+/// folds the delta in, and swaps the pointer, so a table a reader is mid-
+/// dispatch through is never mutated. The generation counter ticks once per
+/// install -- cheap change detection for caches keyed on table content
+/// (exp::plan_fingerprint covers the dump, so a service fingerprints sweep
+/// plans against the snapshot it injects, not against "the" table).
+class LiveTable {
+ public:
+  LiveTable() : table_(std::make_shared<const DecisionTable>()) {}
+  explicit LiveTable(DecisionTable initial)
+      : table_(std::make_shared<const DecisionTable>(std::move(initial))) {}
+
+  /// The current immutable table. Never null.
+  [[nodiscard]] std::shared_ptr<const DecisionTable> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_;
+  }
+
+  /// Copy-on-write merge: `delta`'s cells win on overlap, fingerprints must
+  /// agree where both tables name a profile (DecisionTable::merge's
+  /// std::runtime_error passes through and the live table is untouched).
+  void merge(const DecisionTable& delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto next = std::make_shared<DecisionTable>(*table_);
+    next->merge(delta);
+    table_ = std::move(next);
+    ++generation_;
+  }
+
+  /// Wholesale replacement (hot reload from disk).
+  void install(DecisionTable table) {
+    std::lock_guard<std::mutex> lock(mu_);
+    table_ = std::make_shared<const DecisionTable>(std::move(table));
+    ++generation_;
+  }
+
+  /// Ticks on every merge/install; starts at 0.
+  [[nodiscard]] u64 generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const DecisionTable> table_;
+  u64 generation_ = 0;
+};
+
+}  // namespace bine::tune

@@ -1,0 +1,205 @@
+// Client CLI for the selection daemon.
+//
+//   bine_svc select   <conn> --profile NAME [--fugaku-dims AxBxC]
+//                     --coll NAME --p N --bytes N
+//   bine_svc sweep    <conn> --plan FILE [--out FILE]
+//   bine_svc stats    <conn>
+//   bine_svc shutdown <conn>
+//   bine_svc hammer   <conn> --profile NAME --seconds S [--batch B]
+//
+//   <conn> := --socket PATH | --tcp PORT
+//
+// `select` computes the profile fingerprint locally (net::profile_by_name +
+// tune::profile_fingerprint) -- the staleness handshake: a client built
+// against a different machine model gets a structured stale_fingerprint
+// error, never a silently wrong algorithm. `hammer` is the concurrency
+// driver of the CI service-integration job: one connection of pipelined
+// select batches, printing achieved lookups/sec (run several in parallel).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coll/registry.hpp"
+#include "net/profiles.hpp"
+#include "svc/client.hpp"
+#include "tune/decision_table.hpp"
+
+using namespace bine;
+
+namespace {
+
+struct Args {
+  std::string socket;
+  long tcp = -1;
+  std::string profile = "lumi";
+  std::string fugaku_dims = "8x8x8";
+  std::string coll = "allreduce";
+  i64 p = 64;
+  i64 bytes = 1 << 20;
+  std::string plan_file;
+  std::string out_file;
+  double seconds = 2.0;
+  i64 batch = 1024;
+};
+
+std::vector<i64> parse_dims(const std::string& s) {
+  std::vector<i64> dims;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i)
+    if (i == s.size() || s[i] == 'x') {
+      if (i > start) dims.push_back(std::atoll(s.substr(start, i - start).c_str()));
+      start = i + 1;
+    }
+  return dims;
+}
+
+svc::Client connect(const Args& a) {
+  if (!a.socket.empty()) return svc::Client::connect_to_unix(a.socket);
+  if (a.tcp >= 0) return svc::Client::connect_to_tcp(static_cast<u16>(a.tcp));
+  throw std::runtime_error("no --socket or --tcp given");
+}
+
+svc::SelectRequest make_request(const Args& a) {
+  const net::SystemProfile profile = net::profile_by_name(
+      a.profile, a.profile == "fugaku" ? parse_dims(a.fugaku_dims)
+                                       : std::vector<i64>{});
+  svc::SelectRequest req;
+  req.profile = profile.name;
+  req.fingerprint = tune::profile_fingerprint(profile);
+  req.coll = coll::collective_from_name(a.coll);
+  req.p = a.p;
+  req.bytes = a.bytes;
+  return req;
+}
+
+int cmd_select(const Args& a) {
+  svc::Client client = connect(a);
+  const svc::SelectReply rep = client.select(make_request(a));
+  std::printf("%s %s\n", rep.algorithm.c_str(),
+              rep.from_table ? "(table)" : "(heuristic)");
+  return 0;
+}
+
+int cmd_sweep(const Args& a) {
+  std::ifstream in(a.plan_file);
+  if (!in) {
+    std::fprintf(stderr, "bine_svc: cannot read %s\n", a.plan_file.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  svc::Client client = connect(a);
+  const svc::SweepReply reply = client.sweep_json(buf.str());
+  std::fprintf(stderr, "sweep: %s, %lld replayed, %lld executed, fp %016llx\n",
+               reply.begin.cache_hit ? "cache hit" : "executed",
+               static_cast<long long>(reply.begin.replayed),
+               static_cast<long long>(reply.begin.executed),
+               static_cast<unsigned long long>(reply.plan_fingerprint));
+  if (a.out_file.empty()) {
+    std::fwrite(reply.result_json.data(), 1, reply.result_json.size(), stdout);
+  } else {
+    std::ofstream out(a.out_file, std::ios::binary | std::ios::trunc);
+    out << reply.result_json;
+    if (!out) {
+      std::fprintf(stderr, "bine_svc: cannot write %s\n", a.out_file.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& a) {
+  svc::Client client = connect(a);
+  const std::string stats = client.stats();
+  std::fwrite(stats.data(), 1, stats.size(), stdout);
+  return 0;
+}
+
+int cmd_shutdown(const Args& a) {
+  svc::Client client = connect(a);
+  client.shutdown_server();
+  std::printf("shutdown acknowledged\n");
+  return 0;
+}
+
+int cmd_hammer(const Args& a) {
+  svc::Client client = connect(a);
+  const svc::SelectRequest req = make_request(a);
+  // Prime once: a tune-on-miss build must not sit inside the timed loop.
+  (void)client.select(req);
+  std::vector<svc::SelectRequest> batch(static_cast<size_t>(a.batch), req);
+  const auto t0 = std::chrono::steady_clock::now();
+  u64 done = 0;
+  double elapsed = 0;
+  for (;;) {
+    const std::vector<svc::SelectReply> replies = client.select_batch(batch);
+    done += replies.size();
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
+    if (elapsed >= a.seconds) break;
+  }
+  std::printf("%.0f lookups/sec (%llu lookups in %.2f s)\n",
+              static_cast<double>(done) / elapsed,
+              static_cast<unsigned long long>(done), elapsed);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s select|sweep|stats|shutdown|hammer "
+                 "(--socket PATH | --tcp PORT) [options]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  Args a;
+  for (int i = 2; i < argc; ++i) {
+    const auto arg = [&](const char* name) {
+      if (std::strcmp(argv[i], name) != 0) return static_cast<const char*>(nullptr);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(2);
+      }
+      return static_cast<const char*>(argv[++i]);
+    };
+    if (const char* v = arg("--socket")) a.socket = v;
+    else if (const char* v = arg("--tcp")) a.tcp = std::atol(v);
+    else if (const char* v = arg("--profile")) a.profile = v;
+    else if (const char* v = arg("--fugaku-dims")) a.fugaku_dims = v;
+    else if (const char* v = arg("--coll")) a.coll = v;
+    else if (const char* v = arg("--p")) a.p = std::atoll(v);
+    else if (const char* v = arg("--bytes")) a.bytes = std::atoll(v);
+    else if (const char* v = arg("--plan")) a.plan_file = v;
+    else if (const char* v = arg("--out")) a.out_file = v;
+    else if (const char* v = arg("--seconds")) a.seconds = std::atof(v);
+    else if (const char* v = arg("--batch")) a.batch = std::atoll(v);
+    else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  try {
+    if (cmd == "select") return cmd_select(a);
+    if (cmd == "sweep") return cmd_sweep(a);
+    if (cmd == "stats") return cmd_stats(a);
+    if (cmd == "shutdown") return cmd_shutdown(a);
+    if (cmd == "hammer") return cmd_hammer(a);
+  } catch (const svc::ServiceError& e) {
+    std::fprintf(stderr, "bine_svc: service error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bine_svc: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command %s\n", cmd.c_str());
+  return 2;
+}

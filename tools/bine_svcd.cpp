@@ -1,0 +1,163 @@
+// The selection daemon: load decision-table artifacts, serve select lookups
+// and sweep jobs over a Unix-domain (and optionally TCP-loopback) socket
+// until told to stop.
+//
+//   bine_svcd --socket /run/bine.sock [--tcp PORT] [--table tables.json]
+//             [--journal-dir DIR] [--profiles lumi,leonardo,mn5]
+//             [--fugaku-dims AxBxC] [--no-tune-on-miss] [--job-threads N]
+//             [--stall-after K] [--port-file PATH]
+//
+// SIGINT/SIGTERM and the protocol's `shutdown` request both trigger the same
+// graceful drain: running sweep jobs are cancelled cooperatively (their
+// journals keep them resumable), blocked connections are woken, every thread
+// is joined, and the socket file is removed. --stall-after K is the CI
+// fault-injection hook: the first executed sweep job wedges forever after K
+// cells, having touched `<journal>.stalled` -- a deterministic kill -9
+// window for the kill-resume integration job. --port-file writes the bound
+// TCP port (for --tcp 0) so scripts can find a kernel-assigned port.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/profiles.hpp"
+#include "svc/server.hpp"
+
+using namespace bine;
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 's';
+  // write(2) is async-signal-safe; the watcher thread does the real work.
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      if (i > start) out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<i64> parse_dims(const std::string& s) {
+  std::vector<i64> dims;
+  for (const std::string& d : split(s, 'x')) dims.push_back(std::atoll(d.c_str()));
+  return dims;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [--tcp PORT] [--table PATH] [--journal-dir DIR]\n"
+      "          [--profiles a,b,c] [--fugaku-dims AxBxC] [--no-tune-on-miss]\n"
+      "          [--job-threads N] [--stall-after K] [--port-file PATH]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  svc::ServerOptions opts;
+  std::string profile_names = "lumi,leonardo,mn5";
+  std::string fugaku_dims = "8x8x8";
+  std::string port_file;
+  bool tcp = false;
+  long tcp_port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = [&](const char* name) {
+      if (std::strcmp(argv[i], name) != 0) return static_cast<const char*>(nullptr);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(2);
+      }
+      return static_cast<const char*>(argv[++i]);
+    };
+    if (const char* v = arg("--socket")) opts.unix_socket = v;
+    else if (const char* v = arg("--tcp")) { tcp = true; tcp_port = std::atol(v); }
+    else if (const char* v = arg("--table")) opts.table_path = v;
+    else if (const char* v = arg("--journal-dir")) opts.journal_dir = v;
+    else if (const char* v = arg("--profiles")) profile_names = v;
+    else if (const char* v = arg("--fugaku-dims")) fugaku_dims = v;
+    else if (const char* v = arg("--job-threads")) opts.job_threads = std::atoll(v);
+    else if (const char* v = arg("--stall-after")) opts.stall_after_cells = std::atoll(v);
+    else if (const char* v = arg("--port-file")) port_file = v;
+    else if (std::strcmp(argv[i], "--no-tune-on-miss") == 0) opts.tune_on_miss = false;
+    else return usage(argv[0]);
+  }
+  if (opts.unix_socket.empty() && !tcp) return usage(argv[0]);
+  if (tcp) {
+    if (tcp_port < 0 || tcp_port > 0xffff) return usage(argv[0]);
+    opts.tcp_port = static_cast<u16>(tcp_port);
+  }
+
+  try {
+    for (const std::string& name : split(profile_names, ','))
+      opts.profiles.push_back(net::profile_by_name(
+          name, name == "fugaku" ? parse_dims(fugaku_dims) : std::vector<i64>{}));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bine_svcd: %s\n", e.what());
+    return 2;
+  }
+
+  svc::Server server(std::move(opts));
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bine_svcd: %s\n", e.what());
+    return 1;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "bine_svcd: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::thread watcher([&server] {
+    char byte;
+    if (::read(g_signal_pipe[0], &byte, 1) > 0 && byte == 's')
+      server.request_stop();
+  });
+
+  if (!server.unix_socket().empty())
+    std::printf("bine_svcd: serving on %s\n", server.unix_socket().c_str());
+  if (server.tcp_port() != 0) {
+    std::printf("bine_svcd: serving on 127.0.0.1:%u\n", server.tcp_port());
+    if (!port_file.empty())
+      if (std::FILE* f = std::fopen(port_file.c_str(), "wb")) {
+        std::fprintf(f, "%u\n", server.tcp_port());
+        std::fclose(f);
+      }
+  }
+  std::fflush(stdout);
+
+  server.wait();
+  std::printf("bine_svcd: draining\n");
+  std::fflush(stdout);
+  server.stop();
+
+  // Unblock the watcher if shutdown came over the protocol, not a signal.
+  const char byte = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+  watcher.join();
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
+  std::printf("bine_svcd: stopped\n");
+  return 0;
+}
