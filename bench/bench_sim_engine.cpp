@@ -16,6 +16,12 @@
 // output -- on the torus (dense accumulators) AND on a Dragonfly large
 // enough to take the sparse touched-link path, so both accumulator regimes
 // sit in the perf snapshot.
+//
+// A third section times the CANDIDATE-BATCHED engine
+// (net::simulate_candidates: the whole registry pool of one cell through a
+// shared union pair table and a warm PairRouteMemo) against the
+// per-candidate simulate_sizes loop it replaces, bit-identical, on the same
+// two topologies. Exit code gates the >= 1.5x amortization claim.
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -28,6 +34,7 @@
 #include "coll/registry.hpp"
 #include "exp/sweep.hpp"
 #include "fault/fault.hpp"
+#include "net/pair_route_memo.hpp"
 #include "net/route_cache.hpp"
 #include "net/simulate.hpp"
 #include "net/topology.hpp"
@@ -125,6 +132,99 @@ BatchedReport bench_batched(const net::Topology& topo, const net::CostParams& cp
   rep.compiled_rate = static_cast<double>(rep.cells) / compiled_total;
   rep.batched_rate = static_cast<double>(rep.cells) / batched_total;
   rep.speedup = rep.batched_rate / rep.compiled_rate;
+  return rep;
+}
+
+/// Candidate-batched comparison on one topology: the full size-independent
+/// allreduce pool of the cell, per-candidate simulate_sizes loop vs ONE
+/// simulate_candidates call through a warm PairRouteMemo (the production
+/// shape: the process memo persists across cells). Output must match
+/// bitwise; rates are per (candidate, size) cell.
+struct CandidateReport {
+  size_t pool = 0;
+  size_t cells = 0;          ///< pool x size axis
+  double per_candidate_rate = 0;  ///< simulate_sizes loop, cells/sec
+  double candidate_rate = 0;      ///< one simulate_candidates call, cells/sec
+  double speedup = 0;
+  bool bit_identical = true;
+  i64 num_links = 0;
+};
+
+CandidateReport bench_candidates(const net::Topology& topo, const net::CostParams& cp,
+                                 const std::vector<i64>& sizes, double pool_budget) {
+  const net::Placement pl = net::Placement::identity(topo.num_nodes());
+  const net::RouteCache rc(topo, pl);
+  CandidateReport rep;
+  rep.num_links = rc.num_links();
+
+  coll::Config cfg;
+  cfg.p = topo.num_nodes();
+  std::vector<i64> elem_counts(sizes.size());
+  for (size_t s = 0; s < sizes.size(); ++s)
+    elem_counts[s] = std::max<i64>(cfg.p, sizes[s] / cfg.elem_size);
+
+  std::vector<std::shared_ptr<const sched::SizeFreeSchedule>> own;
+  std::vector<const sched::SizeFreeSchedule*> pool;
+  for (const auto& entry : coll::algorithms_for(sched::Collective::allreduce)) {
+    if (entry.specialized) continue;
+    if (entry.pow2_only && !is_pow2(cfg.p)) continue;
+    cfg.elem_count = elem_counts.back();
+    auto sf = std::make_shared<const sched::SizeFreeSchedule>(
+        sched::SizeFreeSchedule::from(entry.make(cfg)));
+    if (!sf->size_independent) continue;
+    own.push_back(std::move(sf));
+    pool.push_back(own.back().get());
+  }
+  rep.pool = pool.size();
+  rep.cells = pool.size() * elem_counts.size();
+
+  // Parity gate, bitwise, against the exact loop being replaced.
+  net::PairRouteMemo memo;
+  const auto batched =
+      net::simulate_candidates(pool, elem_counts, cfg.elem_size, rc, cp, &memo);
+  for (size_t k = 0; k < pool.size(); ++k) {
+    const auto oracle = net::simulate_sizes(*pool[k], elem_counts, cfg.elem_size, rc, cp);
+    for (size_t s = 0; s < elem_counts.size(); ++s)
+      if (std::bit_cast<u64>(batched[k][s].seconds) !=
+              std::bit_cast<u64>(oracle[s].seconds) ||
+          batched[k][s].traffic.total() != oracle[s].traffic.total() ||
+          batched[k][s].traffic.messages != oracle[s].traffic.messages) {
+        std::fprintf(stderr, "FAIL: candidate engine diverges on %s cand=%zu n=%lld\n",
+                     topo.name().c_str(), k, static_cast<long long>(elem_counts[s]));
+        rep.bit_identical = false;
+      }
+  }
+
+  // Best of three rounds per engine; the budget covers the whole pool pass.
+  double checksum = 0;
+  auto time_engine = [&](auto&& body) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int round = 0; round < 3; ++round) {
+      i64 n = 0;
+      const auto t0 = Clock::now();
+      while (seconds_since(t0) < pool_budget) {
+        body();
+        ++n;
+      }
+      best = std::min(best, seconds_since(t0) / static_cast<double>(n));
+    }
+    return best;
+  };
+  const double loop_total = time_engine([&] {
+    for (const auto* sf : pool)
+      checksum +=
+          net::simulate_sizes(*sf, elem_counts, cfg.elem_size, rc, cp).back().seconds;
+  });
+  const double cand_total = time_engine([&] {
+    checksum += net::simulate_candidates(pool, elem_counts, cfg.elem_size, rc, cp, &memo)
+                    .back()
+                    .back()
+                    .seconds;
+  });
+  (void)checksum;
+  rep.per_candidate_rate = static_cast<double>(rep.cells) / loop_total;
+  rep.candidate_rate = static_cast<double>(rep.cells) / cand_total;
+  rep.speedup = rep.candidate_rate / rep.per_candidate_rate;
   return rep;
 }
 
@@ -261,6 +361,28 @@ int main() {
               dragonfly_batched.bit_identical ? "bit-identical" : "DIVERGED");
   if (!torus_batched.bit_identical || !dragonfly_batched.bit_identical) return 1;
 
+  // Candidate-batched engine (the whole registry pool of one cell in one
+  // structural pass, routes through a warm PairRouteMemo) vs the
+  // per-candidate simulate_sizes loop, same two topologies.
+  const CandidateReport torus_cand = bench_candidates(topo, cp, plan.sizes, 0.05);
+  const CandidateReport dragonfly_cand =
+      bench_candidates(dragonfly, dragonfly_cp, plan.sizes, 0.25);
+  std::printf("candidates (torus, pool %zu):     %10.1f cells/sec  "
+              "(%.2fx vs per-candidate simulate_sizes, %s)\n",
+              torus_cand.pool, torus_cand.candidate_rate, torus_cand.speedup,
+              torus_cand.bit_identical ? "bit-identical" : "DIVERGED");
+  std::printf("candidates (dragonfly, pool %zu): %10.1f cells/sec  "
+              "(%.2fx vs per-candidate simulate_sizes, %s)\n",
+              dragonfly_cand.pool, dragonfly_cand.candidate_rate,
+              dragonfly_cand.speedup,
+              dragonfly_cand.bit_identical ? "bit-identical" : "DIVERGED");
+  const bool candidate_gate = torus_cand.bit_identical && dragonfly_cand.bit_identical &&
+                              torus_cand.speedup >= 1.5 && dragonfly_cand.speedup >= 1.5;
+  if (!candidate_gate)
+    std::fprintf(stderr, "FAIL: candidate-batched gate (>= 1.5x, bit-identical) "
+                         "not met: torus %.2fx, dragonfly %.2fx\n",
+                 torus_cand.speedup, dragonfly_cand.speedup);
+
   if (fault::AtomicFile out("BENCH_sim.json"); std::FILE* f = out.handle()) {
     std::fprintf(f,
                  "{\n"
@@ -280,7 +402,16 @@ int main() {
                  "  \"dragonfly_per_size_compiled_schedules_per_sec\": %.1f,\n"
                  "  \"dragonfly_per_schedule_rate_batched\": %.1f,\n"
                  "  \"dragonfly_batched_speedup\": %.2f,\n"
-                 "  \"dragonfly_batched_bit_identical\": %s\n"
+                 "  \"dragonfly_batched_bit_identical\": %s,\n"
+                 "  \"candidate_pool\": %zu,\n"
+                 "  \"candidate_loop_cells_per_sec\": %.1f,\n"
+                 "  \"candidate_batched_cells_per_sec\": %.1f,\n"
+                 "  \"candidate_batched_speedup\": %.2f,\n"
+                 "  \"dragonfly_candidate_pool\": %zu,\n"
+                 "  \"dragonfly_candidate_loop_cells_per_sec\": %.1f,\n"
+                 "  \"dragonfly_candidate_batched_cells_per_sec\": %.1f,\n"
+                 "  \"dragonfly_candidate_batched_speedup\": %.2f,\n"
+                 "  \"candidate_batched_bit_identical\": %s\n"
                  "}\n",
                  cells, naive_rate, compiled_rate, speedup, max_rel_err,
                  torus_batched.compiled_rate, torus_batched.batched_rate,
@@ -288,8 +419,14 @@ int main() {
                  static_cast<long long>(dragonfly_batched.num_links),
                  dragonfly_batched.compiled_rate, dragonfly_batched.batched_rate,
                  dragonfly_batched.speedup,
-                 dragonfly_batched.bit_identical ? "true" : "false");
+                 dragonfly_batched.bit_identical ? "true" : "false",
+                 torus_cand.pool, torus_cand.per_candidate_rate,
+                 torus_cand.candidate_rate, torus_cand.speedup,
+                 dragonfly_cand.pool, dragonfly_cand.per_candidate_rate,
+                 dragonfly_cand.candidate_rate, dragonfly_cand.speedup,
+                 torus_cand.bit_identical && dragonfly_cand.bit_identical ? "true"
+                                                                          : "false");
     if (out.commit()) std::printf("wrote BENCH_sim.json\n");
   }
-  return 0;
+  return candidate_gate ? 0 : 1;
 }

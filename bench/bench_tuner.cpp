@@ -96,11 +96,21 @@ int main() {
   };
   const double serial_s = time_build(1);
   const double sharded_s = time_build(4);
-  const double build_speedup = serial_s / sharded_s;
   const unsigned cores = std::thread::hardware_concurrency();
-  std::printf("table build:  serial %8.2f ms   sharded(4) %8.2f ms   %.2fx "
-              "(%u hardware threads)\n",
-              1e3 * serial_s, 1e3 * sharded_s, build_speedup, cores);
+  // A single-core runner cannot demonstrate a sharding win: four workers
+  // timeslice one core. Report the ratio as unmeasurable instead of claiming
+  // a (noise-driven) speedup either way -- same contract as the exec bench's
+  // threaded-crossover gate.
+  const bool speedup_unmeasurable = cores <= 1;
+  const double build_speedup = speedup_unmeasurable ? 0.0 : serial_s / sharded_s;
+  if (speedup_unmeasurable)
+    std::printf("table build:  serial %8.2f ms   sharded(4) %8.2f ms   "
+                "speedup unmeasurable (single-core runner)\n",
+                1e3 * serial_s, 1e3 * sharded_s);
+  else
+    std::printf("table build:  serial %8.2f ms   sharded(4) %8.2f ms   %.2fx "
+                "(%u hardware threads)\n",
+                1e3 * serial_s, 1e3 * sharded_s, build_speedup, cores);
 
   // Determinism gate: sharded and serial builds must be byte-identical.
   const tune::DecisionTable table =
@@ -197,6 +207,7 @@ int main() {
                  "  \"build_sharded_threads\": 4,\n"
                  "  \"build_sharded_ms\": %.3f,\n"
                  "  \"build_sharded_speedup\": %.2f,\n"
+                 "  \"crossover_unmeasurable_single_core\": %s,\n"
                  "  \"hardware_threads\": %u,\n"
                  "  \"sharded_equals_serial\": true\n"
                  "}\n",
@@ -204,7 +215,7 @@ int main() {
                  opts.size_grid.size(), sizes.size(), tuned_total, best_fixed_total,
                  dispatch_speedup, fixed_report.c_str(),
                  select_parity ? "true" : "false", 1e3 * serial_s, 1e3 * sharded_s,
-                 build_speedup, cores);
+                 build_speedup, speedup_unmeasurable ? "true" : "false", cores);
     if (out.commit()) std::printf("wrote BENCH_tune.json\n");
   }
 

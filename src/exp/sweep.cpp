@@ -276,18 +276,21 @@ void measure_cell(const SweepPlan& plan, const Axes& ax, const Item& item,
   std::vector<std::optional<harness::RunResult>> eval(names.size());
   std::vector<std::optional<harness::VerifiedRun>> veval(verified ? names.size() : 0);
 
-  // Simulation backends hand each candidate's WHOLE size axis to the batched
-  // engine: one structural pass per (cell, algorithm) via Runner::run_sizes
-  // -- bit-identical to the per-size path -- instead of one pass per size.
+  // Simulation backends hand the cell's WHOLE candidate pool and size axis
+  // to the batched engine in one call: Runner::run_candidates makes one
+  // structural pass per cell (union pair table through the process route
+  // memo, shared lane tiles) -- bit-identical to looping run_sizes per
+  // candidate, which was itself bit-identical to the per-size path.
   // Verified execution stays per-size (real buffers scale with the vector).
-  std::vector<std::vector<harness::RunResult>> eval_sizes(verified ? 0 : names.size());
+  std::vector<std::vector<harness::RunResult>> eval_sizes;
   if (!verified) {
+    guard.checkpoint("algorithm evaluation");
+    std::vector<const coll::AlgorithmEntry*> algos(names.size(), nullptr);
     for (size_t n = 0; n < names.size(); ++n) {
-      guard.checkpoint("algorithm evaluation");
       const auto& entry = coll::find_algorithm(cell.coll, names[n]);
-      if (!runner->applicable(entry, cell.p)) continue;
-      eval_sizes[n] = runner->run_sizes(cell.coll, entry, cell.p, ax.sizes);
+      if (runner->applicable(entry, cell.p)) algos[n] = &entry;
     }
+    eval_sizes = runner->run_candidates(cell.coll, algos, cell.p, ax.sizes);
   }
 
   for (size_t si = 0; si < ax.sizes.size(); ++si) {

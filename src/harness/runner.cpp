@@ -244,6 +244,52 @@ std::vector<RunResult> Runner::run_sizes(Collective coll,
   return out;
 }
 
+std::vector<std::vector<RunResult>> Runner::run_candidates(
+    Collective coll, std::span<const coll::AlgorithmEntry* const> algos, i64 nodes,
+    std::span<const i64> sizes_bytes) {
+  std::vector<std::vector<RunResult>> out(algos.size());
+  if (sizes_bytes.empty()) return out;
+  const coll::Config cfg = cell_config(nodes, sizes_bytes[0]);
+
+  // Partition the pool: candidates with a usable size-free entry (and
+  // size-uniform fault resolution, the run_sizes batching precondition) join
+  // the single batched pass; the rest fall back per candidate. The entry
+  // handles outlive the batched call.
+  std::vector<std::shared_ptr<const sched::SizeFreeSchedule>> entries(algos.size());
+  std::vector<const sched::SizeFreeSchedule*> batch(algos.size(), nullptr);
+  bool any_batched = false;
+  for (size_t k = 0; k < algos.size(); ++k) {
+    if (algos[k] == nullptr) continue;
+    const coll::AlgorithmEntry& resolved =
+        resolve_algorithm(coll, *algos[k], cfg.p, sizes_bytes[0]);
+    bool uniform = true;
+    for (size_t s = 1; s < sizes_bytes.size() && uniform; ++s)
+      uniform = &resolve_algorithm(coll, *algos[k], cfg.p, sizes_bytes[s]) == &resolved;
+    if (uniform) entries[k] = cached_entry(coll, resolved, cfg);
+    if (entries[k]) {
+      batch[k] = entries[k].get();
+      any_batched = true;
+    } else {
+      out[k] = run_sizes(coll, *algos[k], nodes, sizes_bytes);
+    }
+  }
+  if (!any_batched) return out;
+
+  Sized& sized = sized_for(nodes);
+  std::vector<i64> elem_counts(sizes_bytes.size());
+  for (size_t s = 0; s < sizes_bytes.size(); ++s)
+    elem_counts[s] = cell_config(nodes, sizes_bytes[s]).elem_count;
+  const std::vector<std::vector<net::SimResult>> sims = net::simulate_candidates(
+      batch, elem_counts, cfg.elem_size, *sized.routes, profile_.cost,
+      &net::process_route_memo());
+  for (size_t k = 0; k < algos.size(); ++k) {
+    if (batch[k] == nullptr) continue;
+    out[k].resize(sims[k].size());
+    for (size_t s = 0; s < sims[k].size(); ++s) out[k][s] = to_run_result(sims[k][s]);
+  }
+  return out;
+}
+
 runtime::ExecPlan Runner::exec_plan(Collective coll, const coll::AlgorithmEntry& algo_in,
                                     i64 nodes, i64 size_bytes, bool* used_cache,
                                     i64 elem_size) {
@@ -513,14 +559,17 @@ std::vector<std::pair<std::string, RunResult>> Runner::sweep(
       static_cast<i64>(cells.size()),
       [&](i64 ci) {
         const Cell& cell = cells[static_cast<size_t>(ci)];
-        // One size-axis evaluation per candidate; empty = skipped
-        // (rank-count gate).
-        std::vector<std::vector<RunResult>> evaluated(cell.names.size());
+        // ONE structural pass for the whole candidate pool across the size
+        // axis (run_candidates: union pair table through the process route
+        // memo, shared lane tiles); empty result = skipped (rank-count gate,
+        // passed as a null pool slot).
+        std::vector<const coll::AlgorithmEntry*> algos(cell.names.size(), nullptr);
         for (size_t k = 0; k < cell.names.size(); ++k) {
           const auto& entry = coll::find_algorithm(cell.coll, cell.names[k]);
-          if (!applicable(entry, cell.nodes)) continue;
-          evaluated[k] = run_sizes(cell.coll, entry, cell.nodes, cell.sizes);
+          if (applicable(entry, cell.nodes)) algos[k] = &entry;
         }
+        const std::vector<std::vector<RunResult>> evaluated =
+            run_candidates(cell.coll, algos, cell.nodes, cell.sizes);
         // Answer each query by minimizing over its own candidate list in its
         // own order -- the exact selection (and tie-breaking) best_of runs.
         for (size_t v = 0; v < cell.query_indices.size(); ++v) {

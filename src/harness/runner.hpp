@@ -148,6 +148,19 @@ class Runner {
                                                  i64 nodes,
                                                  std::span<const i64> sizes_bytes);
 
+  /// Simulate a whole candidate pool of one cell across the size axis in ONE
+  /// structural pass (net::simulate_candidates through the process-wide
+  /// net::process_route_memo()): the union of the pool's send pairs is
+  /// materialized once and every candidate streams through shared lane
+  /// tiles. results[k][s] is bit-identical to
+  /// run(coll, *algos[k], nodes, sizes_bytes[s]); algos[k] == nullptr marks
+  /// an inapplicable pool slot and yields an empty results[k]. Candidates
+  /// without a usable size-free entry (cache off, demoted, or size-dependent
+  /// fault demotion) fall back per candidate exactly like run_sizes.
+  [[nodiscard]] std::vector<std::vector<RunResult>> run_candidates(
+      sched::Collective coll, std::span<const coll::AlgorithmEntry* const> algos,
+      i64 nodes, std::span<const i64> sizes_bytes);
+
   /// Compiled execution plan for one cell, pulled from the schedule cache
   /// when possible (so verify-heavy runs skip generation on a hit, exactly
   /// like the simulation path). Callers hand the plan to runtime::execute.

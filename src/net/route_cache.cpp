@@ -1,5 +1,6 @@
 #include "net/route_cache.hpp"
 
+#include "core/fnv.hpp"
 #include "fault/fault.hpp"
 
 namespace bine::net {
@@ -91,6 +92,36 @@ void RouteCache::degrade(const fault::FaultSpec& spec) {
     // bw' = bw * factor, stored inverted: inv' = inv / factor.
     if (factor != 1.0) inv_bandwidth_[l] /= factor;
   }
+  signature_.store(0, std::memory_order_relaxed);
+}
+
+u64 RouteCache::signature() const noexcept {
+  if (const u64 cached = signature_.load(std::memory_order_relaxed); cached != 0)
+    return cached;
+  // Fold every compiled column: the memoized route rows are a pure function
+  // of exactly this content, so agreement here is agreement on what the memo
+  // would store. Word-wise FNV keeps the one-time cost a fraction of the
+  // eager build that produced the arrays.
+  u64 h = core::kFnvOffset;
+  core::fnv_mix_string(h, "bine.route_cache.v1");
+  const auto mix = [&h](const auto& v) {
+    const u64 n = v.size();
+    core::fnv_mix_words(h, &n, sizeof(n));
+    core::fnv_mix_words(h, v.data(), v.size() * sizeof(v[0]));
+  };
+  const u64 head[2] = {static_cast<u64>(p_), scoped_ ? u64{1} : u64{0}};
+  core::fnv_mix_words(h, head, sizeof(head));
+  mix(offsets_);
+  mix(links_);
+  mix(hops_);
+  mix(inv_bandwidth_);
+  mix(link_class_);
+  mix(scoped_keys_);
+  if (h == 0) h = 1;  // 0 is the not-yet-computed sentinel
+  // Concurrent first calls compute the same value; whichever store lands
+  // last is identical.
+  signature_.store(h, std::memory_order_relaxed);
+  return h;
 }
 
 }  // namespace bine::net

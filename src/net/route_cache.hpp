@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <span>
@@ -118,7 +119,18 @@ class RouteCache {
   /// simulated times over them become finite but enormous, so selection
   /// routes around the outage. Idempotence is NOT guaranteed; callers apply
   /// it exactly once, right after the build (harness::Runner does).
+  /// Invalidates the cached signature() below.
   void degrade(const fault::FaultSpec& spec);
+
+  /// Content fingerprint of the compiled tables: two caches agree iff their
+  /// routed pairs, per-pair paths/hops, and per-link class/bandwidth columns
+  /// (degradation included) are identical -- i.e. they describe the same
+  /// (Topology, Placement, fault_epoch). This is the scope key of
+  /// net::PairRouteMemo, which lets every Runner built on the same machine
+  /// state share one memoized route-row table. Computed lazily on first use
+  /// (a word-wise FNV over the flat arrays, O(stored paths) once) and cached;
+  /// concurrent first calls race benignly to the same value. Never 0.
+  [[nodiscard]] u64 signature() const noexcept;
 
  private:
   static constexpr size_t kNotRouted = static_cast<size_t>(-1);
@@ -156,6 +168,8 @@ class RouteCache {
   bool scoped_ = false;
   /// Sorted distinct pairs of a scoped build; slots follow this table.
   std::vector<std::pair<Rank, Rank>> scoped_keys_;
+  /// Cached signature(); 0 = not yet computed (degrade() resets it).
+  mutable std::atomic<u64> signature_{0};
 };
 
 }  // namespace bine::net

@@ -281,6 +281,11 @@ struct StreamCtx {
   double inv_mem_bw = 0;
   i64* acc;                   ///< num_slots tiles of W, zeroed by the caller
   std::uint32_t* touch_epoch;  ///< num_slots, reset to kNoSlot by the caller
+  /// Epoch of step t is epoch_base + t. simulate_sizes resets touch_epoch
+  /// per chunk and leaves this 0; the candidate-batched engine keeps one
+  /// running base across every (candidate, chunk) of a cell so the O(slots)
+  /// reset happens once per cell, not once per candidate.
+  std::uint32_t epoch_base = 0;
   std::vector<std::uint32_t>* touched;
   double* seconds;  ///< outputs, written at [off, off+W)
   i64* local_b;
@@ -329,10 +334,11 @@ void stream_ops(const StreamCtx& cx, size_t off) {
             for (size_t s = 0; s < W; ++s) ib2[s] += m * b[s];
           }
           const std::uint32_t ru0 = cx.route_off[i];
+          const std::uint32_t epoch = cx.epoch_base + static_cast<std::uint32_t>(t);
           for (std::uint32_t u = ru0; u < ru0 + cx.route_len[i]; ++u) {
             const std::uint32_t slot = cx.route_links[u];
-            if (cx.touch_epoch[slot] != static_cast<std::uint32_t>(t)) {
-              cx.touch_epoch[slot] = static_cast<std::uint32_t>(t);
+            if (cx.touch_epoch[slot] != epoch) {
+              cx.touch_epoch[slot] = epoch;
               cx.touched->push_back(slot);
             }
             i64* a = cx.acc + static_cast<size_t>(slot) * W;
@@ -617,6 +623,728 @@ std::vector<SimResult> simulate_sizes(const sched::SizeFreeSchedule& sf,
   }
   sc.trim();
   return results;
+}
+
+// --- candidate-batched compiled engine ------------------------------------------
+
+namespace {
+
+/// Per-thread scratch for simulate_candidates, separate from BatchScratch so
+/// the candidate path never evicts the per-schedule path's warm arenas (the
+/// fallback mixes both in one sweep). Same capacity-cap discipline.
+/// One pre-decoded op of the fused candidate stream, emitted by the union
+/// pass. recv ops are dropped at emission (they carry no cost -- a rank
+/// group of only recvs folds a harmless max(max_ov, 0)), the rank-group
+/// boundary is a precomputed flag, and kind/full-vector/range-span/extra
+/// live in one sequential array, so the stream loads one struct instead of
+/// six scattered per-op columns and never branches on recvs.
+struct COp {
+  std::uint32_t flags;         // kind (2 bits) | boundary
+  std::uint32_t aux;           // send: candidate-local pair id
+  std::uint32_t row;           // candidate-local byte-row id
+  std::int32_t extra;          // extra_segments[i]
+};
+constexpr std::uint32_t kCOpKind = 3u;      // send=0, recv_reduce=1, local_perm=2
+constexpr std::uint32_t kCOpBoundary = 4u;  // first op of a rank group
+
+/// One distinct byte row of a candidate: the content class of an op's block
+/// ranges. Schedules are SPMD-symmetric -- across ranks and steps the same
+/// few block shapes recur (a ring's p^2-ish sends carry only ~p distinct
+/// single-block shapes) -- so resolving bytes per distinct row instead of
+/// per op collapses the dominant per-op work of the stream.
+struct RowSpec {
+  std::uint32_t kind;          // kRowFull / kRowSingle / kRowSpan
+  std::uint32_t rbegin, rend;  // single: {begin, count}; span: range span
+};
+constexpr std::uint32_t kRowFull = 0;    // full-vector row
+constexpr std::uint32_t kRowSingle = 1;  // one range, inlined (32-bit fields)
+constexpr std::uint32_t kRowSpan = 2;    // walk sf.ranges[rbegin, rend)
+
+struct CandScratch {
+  std::vector<i64> full_bytes, base, rem;  // per-size geometry, padded
+  std::vector<std::uint32_t> pair_index;   // rank*p + peer -> union pair id
+  std::vector<size_t> pair_keys;           // union pairs, first-touch order
+  std::vector<i64> rowvals;                // evaluated rows, current candidate
+  PairRouteMemo::Rows rows;                // resolved rows, scope-slot ids
+  std::vector<std::uint32_t> slot_of_link; // memo-less direct resolution only
+  std::vector<std::uint32_t> slot_map;     // scope slot -> provisional local slot
+  std::vector<std::uint32_t> scope_used;   // distinct scope slots, first-touch
+  std::vector<i64> table_links;            // per provisional local slot
+  std::vector<std::uint32_t> order, perm;  // provisional -> class-sorted slot
+  std::vector<double> slot_inv_bw;
+  std::vector<std::uint32_t> pair_slots;   // union-pair CSR in sorted local slots
+  std::vector<double> pair_alpha;
+  std::vector<RouteCache::ClassHops> pair_hops;
+  std::vector<std::uint32_t> cand_pids;    // per candidate: its union pids, flat
+  std::vector<std::uint32_t> cslot_of;     // union local slot -> candidate slot
+  std::vector<std::uint32_t> cslot_ids;    // candidate slots, first-touch order
+  std::vector<std::uint32_t> cpair_route_off, cpair_route_len;
+  std::vector<double> cpair_alpha;
+  std::vector<RouteCache::ClassHops> cpair_hops;
+  std::vector<std::uint32_t> croute_slots; // candidate pair CSR, candidate slots
+  std::vector<double> ib_c;                // per candidate slot, 1/bandwidth
+  std::vector<i64> acc;
+  std::vector<double> seconds;
+  std::vector<i64> local_b, global_b, intra_b;
+
+  void trim() {
+    constexpr size_t kCapBytes = size_t{1} << 23;
+    const auto shrink = [](auto& v) {
+      if (v.capacity() * sizeof(v[0]) > kCapBytes && v.size() * sizeof(v[0]) <= kCapBytes / 2)
+        std::decay_t<decltype(v)>().swap(v);
+    };
+    shrink(rowvals);
+    shrink(acc);
+    shrink(pair_slots);
+    shrink(croute_slots);
+    shrink(cand_pids);
+    shrink(pair_index);
+    shrink(slot_map);
+    shrink(slot_of_link);
+    shrink(rows.route_slots);
+    shrink(rows.slot_link);
+  }
+
+  [[nodiscard]] size_t resident_bytes() const {
+    const auto cap = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+    return cap(full_bytes) + cap(base) + cap(rem) + cap(pair_index) +
+           cap(pair_keys) + cap(rowvals) + cap(rows.route_off) +
+           cap(rows.route_len) + cap(rows.route_slots) + cap(rows.hops) +
+           cap(rows.crosses_global) + cap(rows.slot_link) + cap(slot_of_link) +
+           cap(slot_map) + cap(scope_used) + cap(table_links) + cap(order) +
+           cap(perm) + cap(slot_inv_bw) + cap(pair_slots) + cap(pair_alpha) +
+           cap(pair_hops) + cap(cand_pids) + cap(cslot_of) +
+           cap(cslot_ids) + cap(cpair_route_off) + cap(cpair_route_len) +
+           cap(cpair_alpha) + cap(cpair_hops) + cap(croute_slots) + cap(ib_c) +
+           cap(acc) + cap(seconds) + cap(local_b) + cap(global_b) + cap(intra_b);
+  }
+};
+
+/// Inputs of the fused candidate stream: pair-level route/latency tables
+/// shared by the whole pool, plus the per-candidate byte geometry. Unlike
+/// StreamCtx there is no op-major bytes array and no per-op route table --
+/// ops reach the pair rows through pid_of_op and resolve their wire bytes
+/// from the block ranges as they stream.
+struct CandStreamCtx {
+  const sched::SizeFreeSchedule* sf;
+  const COp* cops;                     ///< this candidate's compacted ops
+  const std::uint32_t* cstep;          ///< steps+1 offsets into cops
+  const RowSpec* rowspec;              ///< this candidate's distinct byte rows
+  std::uint32_t nrows = 0;
+  i64* rows;                           ///< evaluated rows, nrows tiles of W
+  const std::uint32_t* pair_route_off; ///< per local pair, into route_slots
+  const std::uint32_t* pair_route_len;
+  const std::uint32_t* route_slots;    ///< candidate pair CSR, candidate slots
+  const double* pair_alpha;            ///< per candidate-local pair
+  const RouteCache::ClassHops* pair_hops;
+  size_t num_slots = 0;                ///< candidate slots (ever touched)
+  const double* slot_inv_bw;           ///< per candidate slot
+  const i64* full_bytes;  ///< per-size geometry, padded to the window grid
+  const i64* base;
+  const i64* rem;
+  i64 elem_size = 0;
+  double seg_overhead = 0;
+  double inv_reduce_bw = 0;
+  double inv_mem_bw = 0;
+  i64* acc;               ///< num_slots tiles of W, zeroed by the caller
+  double* seconds;        ///< outputs, written at [off, off+W)
+  i64* local_b;
+  i64* global_b;
+  i64* intra_b;
+};
+
+/// Fused per-candidate pass for the W size lanes at window offset `off`:
+/// one walk over the op stream does byte resolution, latency constants, link
+/// accumulation and the per-step reductions together, with every per-lane
+/// accumulator in a fixed-size stack tile the autovectorizer turns into
+/// straight vector code. Versus materialize-then-stream this removes the
+/// op-major bytes array round-trip (written and re-read once per candidate
+/// -- pure memory traffic that dominates large schedules) and the per-op
+/// route/const tables; and because W covers the whole practical size axis
+/// (up to 32 lanes per window, vs 8 in stream_ops), the op arrays, block
+/// ranges, route CSR and epoch bookkeeping are touched once per op where
+/// the per-candidate loop re-walks them chunk after chunk. The arithmetic
+/// itself is unchanged: byte rows are the exact i64 expressions
+/// build_byte_rows evaluates (same per-lane sequence), the op constant is
+/// the same double expression the table pass precomputed, and each lane's
+/// FP accumulation order is exactly stream_ops' order -- lanes never mix --
+/// so results stay bitwise identical to simulate_sizes.
+template <size_t W>
+void stream_candidate(const CandStreamCtx& cx, size_t off) {
+  const sched::SizeFreeSchedule& sf = *cx.sf;
+  const sched::BlockRange* ranges = sf.ranges.data();
+  const i64 B = sf.nblocks;
+  const i64* full_bytes = cx.full_bytes + off;
+  const i64* base = cx.base + off;
+  const i64* rem = cx.rem + off;
+  const i64 elem_size = cx.elem_size;
+  // Hoist every context field into a local: accumulator stores through acc
+  // would otherwise force the compiler to re-load same-typed context members
+  // (they could alias an i64 behind the struct) on every op.
+  const COp* const cops = cx.cops;
+  const std::uint32_t* const cstep = cx.cstep;
+  const std::uint32_t* const pair_route_off = cx.pair_route_off;
+  const std::uint32_t* const pair_route_len = cx.pair_route_len;
+  const std::uint32_t* const route_slots = cx.route_slots;
+  const double* const pair_alpha = cx.pair_alpha;
+  const RouteCache::ClassHops* const pair_hops = cx.pair_hops;
+  const size_t num_slots = cx.num_slots;
+  const double* const slot_inv_bw = cx.slot_inv_bw;
+  const double seg_overhead = cx.seg_overhead;
+  const double inv_reduce_bw = cx.inv_reduce_bw;
+  const double inv_mem_bw = cx.inv_mem_bw;
+  i64* const acc = cx.acc;
+  // Wire bytes of a compacted op for this window, in build_byte_rows' exact
+  // i64 sequence: C*(n/B) plus the unwrapped sub-run clamps, then *elem_size.
+  const auto eval_row = [&](const RowSpec& o, i64* b) {
+    if (o.kind == kRowFull) {
+      for (size_t s = 0; s < W; ++s) b[s] = full_bytes[s];
+      return;
+    }
+    if (o.kind == kRowSingle) {  // range inlined in the spec: no arena loads
+      const i64 lo = o.rbegin, cnt = o.rend;
+      const i64 head = std::min(cnt, B - lo);
+      const i64 hi = lo + head;
+      const i64 tail = cnt - head;  // wrapped part, restarting at block 0
+      for (size_t s = 0; s < W; ++s)
+        b[s] = cnt * base[s] + std::max<i64>(0, std::min(hi, rem[s]) - lo);
+      if (tail > 0)
+        for (size_t s = 0; s < W; ++s) b[s] += std::min(tail, rem[s]);
+      for (size_t s = 0; s < W; ++s) b[s] *= elem_size;
+      return;
+    }
+    // Range span: one fused walk accumulates the count total and the clamp
+    // terms together (i64 addition reassociates exactly, so folding
+    // build_byte_rows' two passes into one cannot change the row).
+    i64 c = 0;
+    i64 cl[W] = {};
+    for (std::uint32_t r = o.rbegin; r < o.rend; ++r) {
+      const sched::BlockRange& br = ranges[r];
+      c += br.count;
+      const i64 head = std::min(br.count, B - br.begin);
+      const i64 lo = br.begin, hi = br.begin + head;
+      for (size_t s = 0; s < W; ++s)
+        cl[s] += std::max<i64>(0, std::min(hi, rem[s]) - lo);
+      const i64 tail = br.count - head;  // wrapped part, restarting at block 0
+      if (tail > 0)
+        for (size_t s = 0; s < W; ++s) cl[s] += std::min(tail, rem[s]);
+    }
+    for (size_t s = 0; s < W; ++s) b[s] = (c * base[s] + cl[s]) * elem_size;
+  };
+
+  // Evaluate the candidate's distinct byte rows for this window: the only
+  // place the block ranges are touched. Everything after streams row loads.
+  i64* const rows = cx.rows;
+  for (std::uint32_t r = 0; r < cx.nrows; ++r)
+    eval_row(cx.rowspec[r], rows + static_cast<size_t>(r) * W);
+
+  double sec[W] = {};
+  i64 lb[W] = {}, gb[W] = {}, ib2[W] = {};
+  for (size_t t = 0; t < sf.steps; ++t) {
+    double ov[W] = {}, max_ov[W] = {}, max_link[W] = {};
+    for (std::uint32_t j = cstep[t]; j < cstep[t + 1]; ++j) {
+      const COp& o = cops[j];
+      if (o.flags & kCOpBoundary) {  // first op of a rank group: flush
+        for (size_t s = 0; s < W; ++s) max_ov[s] = std::max(max_ov[s], ov[s]);
+        for (size_t s = 0; s < W; ++s) ov[s] = 0.0;
+      }
+      const i64* b = rows + static_cast<size_t>(o.row) * W;
+      switch (o.flags & kCOpKind) {
+        case 0: {  // send
+          const std::uint32_t pid = o.aux;
+          const RouteCache::ClassHops& h = pair_hops[pid];
+          // Skipping a zero-hop class skips i64 adds of zero: exact.
+          if (h.local) {
+            const i64 m = h.local;
+            for (size_t s = 0; s < W; ++s) lb[s] += m * b[s];
+          }
+          if (h.global) {
+            const i64 m = h.global;
+            for (size_t s = 0; s < W; ++s) gb[s] += m * b[s];
+          }
+          if (h.intra_node) {
+            const i64 m = h.intra_node;
+            for (size_t s = 0; s < W; ++s) ib2[s] += m * b[s];
+          }
+          const std::uint32_t ru0 = pair_route_off[pid];
+          for (std::uint32_t u = ru0; u < ru0 + pair_route_len[pid]; ++u) {
+            const std::uint32_t slot = route_slots[u];
+            i64* a = acc + static_cast<size_t>(slot) * W;
+            for (size_t s = 0; s < W; ++s) a[s] += b[s];
+          }
+          const double c = pair_alpha[pid] +
+                           static_cast<double>(o.extra) * seg_overhead;
+          for (size_t s = 0; s < W; ++s) ov[s] += c;
+          break;
+        }
+        case 1:  // recv_reduce
+          for (size_t s = 0; s < W; ++s)
+            ov[s] += static_cast<double>(b[s]) * inv_reduce_bw;
+          break;
+        default: {  // local_perm
+const double c = static_cast<double>(o.extra) * seg_overhead;
+          for (size_t s = 0; s < W; ++s)
+            ov[s] += static_cast<double>(b[s]) * inv_mem_bw + c;
+          break;
+        }
+      }
+    }
+    for (size_t s = 0; s < W; ++s) max_ov[s] = std::max(max_ov[s], ov[s]);
+
+    // Dense max-reduce over the candidate's slot table: every slot this
+    // candidate ever sends through is scanned each step, sequentially and
+    // branch-free. That removes the per-visit touch bookkeeping from the
+    // send loop above and the gather through a touched list here. A slot
+    // idle this step holds 0, contributing +0.0 to a max over non-negative
+    // finite terms -- bitwise the same result as the oracle's touched-only
+    // reduce (the scalar engine's dense-links path rests on the same
+    // argument). The clear restores the tiles to zero for the next step.
+    for (size_t slot = 0; slot < num_slots; ++slot) {
+      const double ib = slot_inv_bw[slot];
+      i64* a = acc + slot * W;
+      for (size_t s = 0; s < W; ++s)
+        max_link[s] = std::max(max_link[s], static_cast<double>(a[s]) * ib);
+      for (size_t s = 0; s < W; ++s) a[s] = 0;
+    }
+    for (size_t s = 0; s < W; ++s) sec[s] += max_link[s] + max_ov[s];
+  }
+  for (size_t s = 0; s < W; ++s) cx.seconds[off + s] = sec[s];
+  for (size_t s = 0; s < W; ++s) cx.local_b[off + s] = lb[s];
+  for (size_t s = 0; s < W; ++s) cx.global_b[off + s] = gb[s];
+  for (size_t s = 0; s < W; ++s) cx.intra_b[off + s] = ib2[s];
+}
+
+CandScratch& thread_cand_scratch() {
+  static thread_local CandScratch sc;
+  return sc;
+}
+
+/// Memo-less Rows construction: the exact layout PairRouteMemo::resolve
+/// copies out, built directly from `rc` with a private first-touch slot
+/// table. Keeps simulate_candidates self-contained when no memo is given
+/// (and gives the parity suite a memo-independent batched engine).
+void resolve_pairs_direct(const RouteCache& rc, std::span<const size_t> pair_keys,
+                          std::vector<std::uint32_t>& slot_of_link,
+                          PairRouteMemo::Rows& out) {
+  constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  const size_t np = static_cast<size_t>(rc.num_ranks());
+  const size_t n = pair_keys.size();
+  out.route_off.resize(n);
+  out.route_len.resize(n);
+  out.hops.resize(n);
+  out.crosses_global.resize(n);
+  out.route_slots.clear();
+  out.slot_link.clear();
+  slot_of_link.assign(static_cast<size_t>(rc.num_links()), kNoSlot);
+  for (size_t i = 0; i < n; ++i) {
+    const Rank src = static_cast<Rank>(pair_keys[i] / np);
+    const Rank dst = static_cast<Rank>(pair_keys[i] % np);
+    const std::span<const i64> path = rc.path(src, dst);
+    out.route_off[i] = static_cast<std::uint32_t>(out.route_slots.size());
+    out.route_len[i] = static_cast<std::uint32_t>(path.size());
+    for (const i64 link : path) {
+      std::uint32_t& slot = slot_of_link[static_cast<size_t>(link)];
+      if (slot == kNoSlot) {
+        slot = static_cast<std::uint32_t>(out.slot_link.size());
+        out.slot_link.push_back(link);
+      }
+      out.route_slots.push_back(slot);
+    }
+    const RouteCache::ClassHops& h = rc.hops(src, dst);
+    out.hops[i] = h;
+    out.crosses_global[i] = h.global > 0 ? 1 : 0;
+  }
+}
+
+/// Size- and profile-independent compile of one schedule for the candidate
+/// stream: the compact op arena, the interned distinct byte rows, and a
+/// dense schedule-local pair numbering (pair_keys maps local pid back to
+/// rank*p + peer for the caller's union/route resolution). Everything here
+/// is a pure function of the schedule structure -- no topology, placement,
+/// size or cost parameter enters -- so it is built once per cached schedule
+/// and memoized on the entry's derived slot (the simulator analogue of
+/// runtime::ExecSkeleton::of). Without this, the per-op walk with content
+/// hashing re-runs on every simulate_candidates call and dominates pools
+/// whose size axis fits one window.
+struct CandCompiled {
+  std::vector<COp> cops;
+  std::vector<std::uint32_t> cstep;  ///< steps+1 op offsets
+  std::vector<RowSpec> rowspec;      ///< distinct byte rows, dedup'd by content
+  std::vector<size_t> pair_keys;     ///< local pid -> rank*p + peer, first touch
+  i64 messages = 0;
+};
+
+std::shared_ptr<const CandCompiled> compiled_for(const sched::SizeFreeSchedule& sf) {
+  sched::SizeFreeSchedule::DerivedSlot& slot = *sf.sim_derived;
+  const std::scoped_lock lock(slot.mutex);
+  if (slot.value) return std::static_pointer_cast<const CandCompiled>(slot.value);
+
+  constexpr std::uint32_t kNoPair = 0xffffffffu;
+  auto cc = std::make_shared<CandCompiled>();
+  const size_t np = static_cast<size_t>(sf.p);
+  std::vector<std::uint32_t> pair_of(np * np, kNoPair);
+  // Byte-row dedup: an open-addressing table over content hashes. Schedules
+  // are SPMD-symmetric -- across ranks and steps the same few block shapes
+  // recur -- so the distinct-row count is orders of magnitude below the op
+  // count, and the stream resolves bytes once per row instead of per op.
+  std::vector<std::uint64_t> row_hash;
+  std::vector<std::uint32_t> row_map(2048, 0);
+  size_t row_cap = row_map.size();
+  const auto reseed = [&]() {
+    std::fill(row_map.begin(), row_map.end(), 0u);
+    const size_t mask = row_cap - 1;
+    for (size_t r = 0; r < row_hash.size(); ++r) {
+      size_t idx = static_cast<size_t>(row_hash[r]) & mask;
+      while (row_map[idx] != 0) idx = (idx + 1) & mask;
+      row_map[idx] = static_cast<std::uint32_t>(r) + 1;
+    }
+  };
+  const auto intern_row = [&](const RowSpec& spec, std::uint64_t h) {
+    const size_t mask = row_cap - 1;
+    size_t idx = static_cast<size_t>(h) & mask;
+    while (row_map[idx] != 0) {
+      const size_t r = row_map[idx] - 1;
+      if (row_hash[r] == h) {
+        const RowSpec& have = cc->rowspec[r];
+        const bool eq =
+            have.kind == spec.kind &&
+            (spec.kind == kRowFull ||
+             (spec.kind == kRowSingle
+                  ? have.rbegin == spec.rbegin && have.rend == spec.rend
+                  : have.rend - have.rbegin == spec.rend - spec.rbegin &&
+                        std::equal(sf.ranges.data() + have.rbegin,
+                                   sf.ranges.data() + have.rend,
+                                   sf.ranges.data() + spec.rbegin)));
+        if (eq) return static_cast<std::uint32_t>(r);
+      }
+      idx = (idx + 1) & mask;
+    }
+    row_map[idx] = static_cast<std::uint32_t>(cc->rowspec.size()) + 1;
+    cc->rowspec.push_back(spec);
+    row_hash.push_back(h);
+    const std::uint32_t rid = static_cast<std::uint32_t>(cc->rowspec.size() - 1);
+    if (cc->rowspec.size() * 2 > row_cap) {
+      row_cap *= 4;
+      row_map.assign(row_cap, 0);
+      reseed();
+    }
+    return rid;
+  };
+
+  cc->cops.reserve(sf.num_ops());
+  for (size_t t = 0; t < sf.steps; ++t) {
+    cc->cstep.push_back(static_cast<std::uint32_t>(cc->cops.size()));
+    std::int32_t last_rank = -1;  // ranks are non-negative
+    for (std::uint32_t i = sf.step_begin[t]; i < sf.step_begin[t + 1]; ++i) {
+      if (sf.kind[i] == sched::OpKind::recv) continue;
+      COp o;
+      o.flags = sf.rank[i] != last_rank ? kCOpBoundary : 0u;
+      last_rank = sf.rank[i];
+      o.aux = 0;
+      switch (sf.kind[i]) {
+        case sched::OpKind::send: {
+          ++cc->messages;
+          const size_t key = static_cast<size_t>(sf.rank[i]) * np +
+                             static_cast<size_t>(sf.peer[i]);
+          std::uint32_t& pid = pair_of[key];
+          if (pid == kNoPair) {
+            pid = static_cast<std::uint32_t>(cc->pair_keys.size());
+            cc->pair_keys.push_back(key);
+          }
+          o.aux = pid;
+          break;
+        }
+        case sched::OpKind::recv_reduce:
+          o.flags |= 1u;
+          break;
+        case sched::OpKind::local_perm:
+          o.flags |= 2u;
+          break;
+        default:
+          break;
+      }
+      // Intern this op's byte-row content. A mixing hash over the range
+      // content (or a tag for full-vector rows) keys the table; single
+      // 32-bit-representable ranges are inlined in the spec so their rows
+      // evaluate without touching the ranges arena.
+      RowSpec spec;
+      std::uint64_t h;
+      const std::uint32_t r0 = sf.block_begin[i], r1 = sf.block_begin[i + 1];
+      if (sf.full_vector[i]) {
+        spec = {kRowFull, 0, 0};
+        h = 0x9e3779b97f4a7c15ull;
+      } else if (r1 == r0 + 1 && sf.ranges[r0].begin >= 0 &&
+                 sf.ranges[r0].begin <= 0xffffffffll && sf.ranges[r0].count >= 0 &&
+                 sf.ranges[r0].count <= 0xffffffffll) {
+        spec = {kRowSingle, static_cast<std::uint32_t>(sf.ranges[r0].begin),
+                static_cast<std::uint32_t>(sf.ranges[r0].count)};
+        h = (static_cast<std::uint64_t>(spec.rbegin) << 32) | spec.rend;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 33;
+      } else {
+        spec = {kRowSpan, r0, r1};
+        h = 14695981039346656037ull;
+        for (std::uint32_t r = r0; r < r1; ++r) {
+          h = (h ^ static_cast<std::uint64_t>(sf.ranges[r].begin)) *
+              1099511628211ull;
+          h = (h ^ static_cast<std::uint64_t>(sf.ranges[r].count)) *
+              1099511628211ull;
+        }
+      }
+      o.row = intern_row(spec, h);
+      o.extra = sf.extra_segments[i];
+      cc->cops.push_back(o);
+    }
+  }
+  cc->cstep.push_back(static_cast<std::uint32_t>(cc->cops.size()));
+  slot.value = cc;
+  return cc;
+}
+
+}  // namespace
+
+std::vector<std::vector<SimResult>> simulate_candidates(
+    std::span<const sched::SizeFreeSchedule* const> candidates,
+    std::span<const i64> elem_counts, i64 elem_size, const RouteCache& rc,
+    const CostParams& cp, PairRouteMemo* memo) {
+  const size_t C = candidates.size();
+  const size_t S = elem_counts.size();
+  std::vector<std::vector<SimResult>> results(C);
+  size_t live = 0;
+  for (const sched::SizeFreeSchedule* sf : candidates) {
+    if (sf == nullptr) continue;
+    assert(sf->size_independent && "demoted entries must fall back to fresh generation");
+    assert(sf->p == rc.num_ranks());
+    ++live;
+  }
+  if (S == 0 || live == 0) return results;
+
+  constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  CandScratch& sc = thread_cand_scratch();
+  const size_t np = static_cast<size_t>(rc.num_ranks());
+
+  // Window width: one register-tiled window covers the whole size axis for
+  // every practical grid (tuner grids and sweep plans are <= 32 sizes), so
+  // the op stream is walked once per candidate; longer axes fall back to
+  // 32-lane windows.
+  const size_t W = S <= 2 ? 2 : S <= 4 ? 4 : S <= 8 ? 8 : S <= 16 ? 16 : 32;
+  const size_t P = (S + W - 1) / W * W;
+
+  // --- per-schedule compiled forms + union of the pool's send pairs ---------
+  // Each candidate's compact op stream (recvs dropped, rank-group boundaries
+  // folded into flags, byte rows dedup'd, pairs densely numbered) comes from
+  // the schedule's cached CandCompiled -- built once per schedule process-
+  // wide, so this loop only unions the pair keys: candidate-local pid k maps
+  // to union pid cand_pids[cp_off[c] + k]. pair_index entries stay assigned
+  // until the end of the call (all-kNoSlot invariant restored at the bottom,
+  // as in simulate_sizes); resizing down keeps the invariant (the dropped
+  // tail is all-kNoSlot) while letting trim() release a huge cell's p^2
+  // table once small cells follow.
+  if (sc.pair_index.size() < np * np)
+    sc.pair_index.assign(np * np, kNoSlot);
+  else
+    sc.pair_index.resize(np * np);
+  std::vector<std::shared_ptr<const CandCompiled>> comp(C);
+  std::vector<size_t> cp_off(C + 1, 0);  // cand_pids segment per candidate
+  sc.pair_keys.clear();
+  sc.cand_pids.clear();
+  for (size_t c = 0; c < C; ++c) {
+    cp_off[c] = sc.cand_pids.size();
+    if (candidates[c] == nullptr) continue;
+    comp[c] = compiled_for(*candidates[c]);
+    for (const size_t key : comp[c]->pair_keys) {
+      std::uint32_t& pid = sc.pair_index[key];
+      if (pid == kNoSlot) {
+        pid = static_cast<std::uint32_t>(sc.pair_keys.size());
+        sc.pair_keys.push_back(key);
+      }
+      sc.cand_pids.push_back(pid);
+    }
+  }
+  cp_off[C] = sc.cand_pids.size();
+
+  // --- route rows: through the memo (cross-cell reuse) or walked directly ---
+  if (memo != nullptr)
+    memo->resolve(rc, sc.pair_keys, sc.rows);
+  else
+    resolve_pairs_direct(rc, sc.pair_keys, sc.slot_of_link, sc.rows);
+
+  // --- call-local compact slot table over the union, sorted by class --------
+  // Scope slots are sparse for this call (and numbered by global insertion
+  // order); remap to a dense table sorted by (LinkClass, link id) -- the same
+  // layout simulate_sizes builds, deterministic for any memo state because
+  // the sort keys are link ids, not slot numbers.
+  if (sc.slot_map.size() < sc.rows.num_scope_slots())
+    sc.slot_map.resize(sc.rows.num_scope_slots(), kNoSlot);
+  sc.scope_used.clear();
+  sc.table_links.clear();
+  for (const std::uint32_t v : sc.rows.route_slots) {
+    if (sc.slot_map[v] == kNoSlot) {
+      sc.slot_map[v] = static_cast<std::uint32_t>(sc.scope_used.size());
+      sc.scope_used.push_back(v);
+      sc.table_links.push_back(sc.rows.slot_link[v]);
+    }
+  }
+  const size_t num_slots = sc.scope_used.size();
+  const std::span<const LinkClass> link_class = rc.link_class();
+  sc.order.resize(num_slots);
+  for (size_t slot = 0; slot < num_slots; ++slot)
+    sc.order[slot] = static_cast<std::uint32_t>(slot);
+  std::sort(sc.order.begin(), sc.order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const i64 la = sc.table_links[a], lb = sc.table_links[b];
+    const LinkClass ca = link_class[static_cast<size_t>(la)];
+    const LinkClass cb = link_class[static_cast<size_t>(lb)];
+    if (ca != cb) return ca < cb;
+    return la < lb;
+  });
+  sc.perm.resize(num_slots);
+  sc.slot_inv_bw.resize(num_slots);
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    sc.perm[sc.order[slot]] = static_cast<std::uint32_t>(slot);
+    sc.slot_inv_bw[slot] =
+        rc.inv_bandwidth()[static_cast<size_t>(sc.table_links[sc.order[slot]])];
+  }
+  // Union-pair CSR in sorted local slots, shared by every candidate's ops.
+  sc.pair_slots.resize(sc.rows.route_slots.size());
+  for (size_t u = 0; u < sc.rows.route_slots.size(); ++u)
+    sc.pair_slots[u] = sc.perm[sc.slot_map[sc.rows.route_slots[u]]];
+  // Restore slot_map's all-kNoSlot invariant for the next call.
+  for (const std::uint32_t v : sc.scope_used) sc.slot_map[v] = kNoSlot;
+
+  sc.pair_alpha.resize(sc.pair_keys.size());
+  sc.pair_hops.resize(sc.pair_keys.size());
+  for (size_t pid = 0; pid < sc.pair_keys.size(); ++pid) {
+    sc.pair_alpha[pid] = sc.rows.crosses_global[pid] ? cp.alpha_global : cp.alpha_local;
+    sc.pair_hops[pid] = sc.rows.hops[pid];
+  }
+
+  // Candidate-slot remap table over the union's local slots; all-kNoSlot
+  // between candidates (reset through cslot_ids below). Growing with resize
+  // preserves the invariant for entries carried over from earlier calls.
+  if (sc.cslot_of.size() < num_slots) sc.cslot_of.resize(num_slots, kNoSlot);
+
+  CandStreamCtx cx;
+  cx.elem_size = elem_size;
+  cx.seg_overhead = cp.seg_overhead;
+  cx.inv_reduce_bw = 1.0 / cp.reduce_bandwidth;
+  cx.inv_mem_bw = 1.0 / cp.mem_bandwidth;
+
+  for (size_t c = 0; c < C; ++c) {
+    if (candidates[c] == nullptr) continue;
+    const sched::SizeFreeSchedule& sf = *candidates[c];
+    const i64 B = sf.nblocks;
+
+    // Per-size geometry: inherently per candidate (block space and nblocks
+    // shape it), same expressions as simulate_sizes. Everything else the
+    // fused stream needs -- byte rows, route rows, latency constants -- is
+    // resolved from the shared union tables as it streams.
+    sc.full_bytes.assign(P, 0);
+    sc.base.assign(P, 0);
+    sc.rem.assign(P, 0);
+    for (size_t s = 0; s < S; ++s) {
+      const i64 n = sf.space == sched::BlockSpace::pairwise ? elem_counts[s] * sf.p
+                                                            : elem_counts[s];
+      sc.full_bytes[s] = n * elem_size;
+      sc.base[s] = n / B;
+      sc.rem[s] = n % B;
+    }
+
+    // Candidate-local pair/slot tables: copy this candidate's rows out of the
+    // shared union, renumbering pairs and slots into dense [0, n) ranges.
+    // Cost is O(pairs x route length) -- pair counts are orders of magnitude
+    // below op counts -- and it buys the stream a branch-free inner loop:
+    // no touch bookkeeping per route visit, and a sequential max-reduce over
+    // exactly the slots this candidate can touch.
+    const size_t npairs_c = cp_off[c + 1] - cp_off[c];
+    sc.cpair_route_off.resize(npairs_c);
+    sc.cpair_route_len.resize(npairs_c);
+    sc.cpair_alpha.resize(npairs_c);
+    sc.cpair_hops.resize(npairs_c);
+    sc.croute_slots.clear();
+    sc.cslot_ids.clear();
+    sc.ib_c.clear();
+    for (size_t k = 0; k < npairs_c; ++k) {
+      const std::uint32_t pid = sc.cand_pids[cp_off[c] + k];
+      sc.cpair_route_off[k] = static_cast<std::uint32_t>(sc.croute_slots.size());
+      sc.cpair_route_len[k] = sc.rows.route_len[pid];
+      sc.cpair_alpha[k] = sc.pair_alpha[pid];
+      sc.cpair_hops[k] = sc.pair_hops[pid];
+      const std::uint32_t u0 = sc.rows.route_off[pid];
+      for (std::uint32_t u = u0; u < u0 + sc.rows.route_len[pid]; ++u) {
+        const std::uint32_t us = sc.pair_slots[u];
+        std::uint32_t& cslot = sc.cslot_of[us];
+        if (cslot == kNoSlot) {
+          cslot = static_cast<std::uint32_t>(sc.cslot_ids.size());
+          sc.cslot_ids.push_back(us);
+          sc.ib_c.push_back(sc.slot_inv_bw[us]);
+        }
+        sc.croute_slots.push_back(cslot);
+      }
+    }
+    const size_t n_c = sc.cslot_ids.size();
+    // Restore cslot_of's all-kNoSlot invariant for the next candidate.
+    for (const std::uint32_t us : sc.cslot_ids) sc.cslot_of[us] = kNoSlot;
+    sc.acc.assign(n_c * W, 0);  // accumulator tiles; each step clears its own
+
+    sc.seconds.resize(P);
+    sc.local_b.resize(P);
+    sc.global_b.resize(P);
+    sc.intra_b.resize(P);
+    const size_t nrows_c = comp[c]->rowspec.size();
+    sc.rowvals.resize(nrows_c * W);
+    cx.sf = &sf;
+    cx.cops = comp[c]->cops.data();
+    cx.cstep = comp[c]->cstep.data();
+    cx.rowspec = comp[c]->rowspec.data();
+    cx.nrows = static_cast<std::uint32_t>(nrows_c);
+    cx.rows = sc.rowvals.data();
+    cx.pair_route_off = sc.cpair_route_off.data();
+    cx.pair_route_len = sc.cpair_route_len.data();
+    cx.route_slots = sc.croute_slots.data();
+    cx.pair_alpha = sc.cpair_alpha.data();
+    cx.pair_hops = sc.cpair_hops.data();
+    cx.num_slots = n_c;
+    cx.slot_inv_bw = sc.ib_c.data();
+    cx.acc = sc.acc.data();
+    cx.full_bytes = sc.full_bytes.data();
+    cx.base = sc.base.data();
+    cx.rem = sc.rem.data();
+    cx.seconds = sc.seconds.data();
+    cx.local_b = sc.local_b.data();
+    cx.global_b = sc.global_b.data();
+    cx.intra_b = sc.intra_b.data();
+    const auto run_windows = [&](auto width) {
+      constexpr size_t kW = decltype(width)::value;
+      for (size_t off = 0; off < P; off += kW) stream_candidate<kW>(cx, off);
+    };
+    switch (W) {
+      case 2: run_windows(std::integral_constant<size_t, 2>{}); break;
+      case 4: run_windows(std::integral_constant<size_t, 4>{}); break;
+      case 8: run_windows(std::integral_constant<size_t, 8>{}); break;
+      case 16: run_windows(std::integral_constant<size_t, 16>{}); break;
+      default: run_windows(std::integral_constant<size_t, 32>{}); break;
+    }
+
+    results[c].resize(S);
+    for (size_t s = 0; s < S; ++s) {
+      results[c][s].seconds = sc.seconds[s];
+      results[c][s].steps = sf.steps;
+      results[c][s].traffic = {sc.local_b[s], sc.global_b[s], sc.intra_b[s],
+                               comp[c]->messages};
+    }
+  }
+
+  // Restore pair_index's all-kNoSlot invariant for the next call.
+  for (const size_t key : sc.pair_keys) sc.pair_index[key] = kNoSlot;
+  sc.trim();
+  return results;
+}
+
+/// Testing hook (satellite: scratch-arena hygiene): resident capacity of this
+/// thread's candidate-batched scratch, so the trim regression test can
+/// observe that a huge cell's spike is released once small cells follow.
+size_t candidate_scratch_resident_bytes() {
+  return thread_cand_scratch().resident_bytes();
 }
 
 // --- Schedule-level conveniences -----------------------------------------------

@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "net/pair_route_memo.hpp"
 #include "net/route_cache.hpp"
 #include "net/topology.hpp"
 #include "sched/compiled.hpp"
@@ -107,6 +108,34 @@ struct SimResult {
                                                     std::span<const i64> elem_counts,
                                                     i64 elem_size, const RouteCache& rc,
                                                     const CostParams& cp);
+
+/// Candidate-batched compiled engine: one structural pass per *cell* across
+/// a whole candidate pool AND the size axis -- the (cell x candidates x
+/// sizes) lift of simulate_sizes' (schedule x sizes) design. The union of
+/// every candidate's send pairs is materialized once (through `memo` when
+/// given: pair walks then amortize across cells, Runners, and tuner rounds;
+/// self-contained when null), one compact link table sorted by LinkClass
+/// serves all candidates, and the per-step accumulator tiles are zeroed once
+/// per cell -- a running touch epoch replaces the per-candidate reset. Each
+/// candidate then streams through the same lane-tile inner loops as
+/// simulate_sizes.
+///
+/// result[c][s] is bit-identical to simulate_sizes(*candidates[c], ...)[s]
+/// (the parity suite loops exactly that): per-candidate byte resolution and
+/// FP accumulation order are untouched, and the shared slot table only
+/// renumbers accumulator indices -- the per-step link reduction is a max
+/// over non-negative finite terms, order-independent bitwise. Null entries
+/// in `candidates` (inapplicable pool slots) yield empty result vectors.
+/// Every non-null candidate must be size_independent with p matching `rc`.
+[[nodiscard]] std::vector<std::vector<SimResult>> simulate_candidates(
+    std::span<const sched::SizeFreeSchedule* const> candidates,
+    std::span<const i64> elem_counts, i64 elem_size, const RouteCache& rc,
+    const CostParams& cp, PairRouteMemo* memo = nullptr);
+
+/// Resident capacity (bytes) of the calling thread's candidate-batched
+/// scratch arena. Testing hook for the capacity-cap trim: a huge cell
+/// followed by small cells must release the spike.
+[[nodiscard]] size_t candidate_scratch_resident_bytes();
 
 /// Naive oracles (virtual routing per op, hash-map accumulators), retained
 /// verbatim for the parity suite and the before/after benchmark.

@@ -113,6 +113,11 @@ struct SizeFreeSchedule {
     std::shared_ptr<const void> value;
   };
   mutable std::unique_ptr<DerivedSlot> derived = std::make_unique<DerivedSlot>();
+  /// Second derived slot, used by the simulator's candidate-batched engine
+  /// for its compiled op/byte-row form (net::simulate_candidates). Separate
+  /// from `derived` so the runtime skeleton and the simulation compile can
+  /// both live on one entry without evicting each other.
+  mutable std::unique_ptr<DerivedSlot> sim_derived = std::make_unique<DerivedSlot>();
 
   [[nodiscard]] size_t num_ops() const noexcept { return kind.size(); }
   [[nodiscard]] size_t num_recv_ops() const noexcept { return recv_rank.size(); }

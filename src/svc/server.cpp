@@ -10,6 +10,7 @@
 #include "coll/registry.hpp"
 #include "exp/plan_codec.hpp"
 #include "fault/fault.hpp"
+#include "net/pair_route_memo.hpp"
 #include "sched/schedule_cache.hpp"
 
 namespace bine::svc {
@@ -496,6 +497,11 @@ ServerStats Server::stats_snapshot() const {
   const sched::ScheduleCache::Stats cache = sched::process_schedule_cache().stats();
   s.schedule_cache_hits = cache.hits;
   s.schedule_cache_misses = cache.misses;
+  const net::PairRouteMemo::Stats memo = net::process_route_memo().stats();
+  s.route_memo_hits = memo.hits;
+  s.route_memo_misses = memo.misses;
+  s.route_memo_scopes = memo.scopes;
+  s.route_memo_bytes = memo.bytes;
   return s;
 }
 
@@ -532,6 +538,12 @@ std::string Server::stats_json() const {
   out += "  \"schedule_cache\": {\n";
   out += "    \"hits\": " + std::to_string(s.schedule_cache_hits) + ",\n";
   out += "    \"misses\": " + std::to_string(s.schedule_cache_misses) + "\n";
+  out += "  },\n";
+  out += "  \"route_memo\": {\n";
+  out += "    \"hits\": " + std::to_string(s.route_memo_hits) + ",\n";
+  out += "    \"misses\": " + std::to_string(s.route_memo_misses) + ",\n";
+  out += "    \"scopes\": " + std::to_string(s.route_memo_scopes) + ",\n";
+  out += "    \"bytes\": " + std::to_string(s.route_memo_bytes) + "\n";
   out += "  },\n";
   out += "  \"stale_temps_cleaned\": " + std::to_string(s.stale_temps_cleaned) +
          "\n";

@@ -44,13 +44,24 @@ const coll::AlgorithmEntry* Tuner::winner_at(
     harness::Runner& runner, Collective coll, i64 p, i64 size,
     const std::vector<const coll::AlgorithmEntry*>& cands,
     const harness::CellGuard* guard) const {
+  // One candidate-batched pass for the whole pool at this size (bisection
+  // midpoints land here; the initial grid batches sizes too, in tune_cell).
+  if (guard != nullptr) guard->checkpoint("candidate ranking");
+  const std::vector<std::vector<harness::RunResult>> evaluated =
+      runner.run_candidates(coll, cands, p, std::span<const i64>(&size, 1));
+  std::vector<double> seconds(cands.size());
+  for (size_t k = 0; k < cands.size(); ++k) seconds[k] = evaluated[k][0].seconds;
+  return pick_winner(runner, coll, p, size, cands, seconds, guard);
+}
+
+const coll::AlgorithmEntry* Tuner::pick_winner(
+    harness::Runner& runner, Collective coll, i64 p, i64 size,
+    const std::vector<const coll::AlgorithmEntry*>& cands,
+    const std::vector<double>& seconds, const harness::CellGuard* guard) const {
   // Rank every candidate by simulated time. Pure function of the cell, so
   // sharding cannot reorder anything observable.
   std::vector<std::pair<double, size_t>> ranked(cands.size());
-  for (size_t k = 0; k < cands.size(); ++k) {
-    if (guard != nullptr) guard->checkpoint("candidate ranking");
-    ranked[k] = {runner.run(coll, *cands[k], p, size).seconds, k};
-  }
+  for (size_t k = 0; k < cands.size(); ++k) ranked[k] = {seconds[k], k};
   // stable_sort keeps registry order on ties -- the same tie-break
   // best_of's strict < performs.
   std::stable_sort(ranked.begin(), ranked.end(),
@@ -89,10 +100,20 @@ std::vector<SizeInterval> Tuner::tune_cell(harness::Runner& runner, Collective c
                              to_string(coll) + " p=" + std::to_string(p));
 
   std::vector<i64> grid = grid_;
+  // The initial grid is the tuner's bulk work: ONE candidate-batched pass
+  // evaluates the whole (candidates x grid) matrix -- the union pair table
+  // and compact slot sort amortize over the pool -- then each grid size is
+  // ranked from its matrix column. Bit-identical seconds, identical winners.
+  if (guard != nullptr) guard->checkpoint("candidate ranking");
+  const std::vector<std::vector<harness::RunResult>> evaluated =
+      runner.run_candidates(coll, cands, p, grid);
   std::vector<const coll::AlgorithmEntry*> winners;
   winners.reserve(grid.size());
-  for (const i64 size : grid)
-    winners.push_back(winner_at(runner, coll, p, size, cands, guard));
+  std::vector<double> seconds(cands.size());
+  for (size_t gi = 0; gi < grid.size(); ++gi) {
+    for (size_t k = 0; k < cands.size(); ++k) seconds[k] = evaluated[k][gi].seconds;
+    winners.push_back(pick_winner(runner, coll, p, grid[gi], cands, seconds, guard));
+  }
 
   // Adaptive refinement (bounded depth): each pass ranks the geometric
   // midpoint of every adjacent pair whose winners differ and inserts it, so

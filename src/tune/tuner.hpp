@@ -135,11 +135,22 @@ class Tuner {
 
  private:
   /// Rank every candidate at one size and return the winner (simulated
-  /// argmin, refined through verified execution when configured).
+  /// argmin, refined through verified execution when configured). The whole
+  /// pool is evaluated in one candidate-batched pass
+  /// (harness::Runner::run_candidates).
   [[nodiscard]] const coll::AlgorithmEntry* winner_at(
       harness::Runner& runner, sched::Collective coll, i64 p, i64 size,
       const std::vector<const coll::AlgorithmEntry*>& cands,
       const harness::CellGuard* guard) const;
+
+  /// Selection given each candidate's already-simulated seconds at one size:
+  /// the stable-sort ranking and verified refinement winner_at performs,
+  /// factored out so tune_cell can rank every grid size from ONE batched
+  /// (candidates x grid) evaluation.
+  [[nodiscard]] const coll::AlgorithmEntry* pick_winner(
+      harness::Runner& runner, sched::Collective coll, i64 p, i64 size,
+      const std::vector<const coll::AlgorithmEntry*>& cands,
+      const std::vector<double>& seconds, const harness::CellGuard* guard) const;
 
   /// The tuner knobs that shape cell results, hashed into the build plan's
   /// journal_salt: a journal written by a differently-configured tuner must

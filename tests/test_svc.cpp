@@ -301,6 +301,11 @@ TEST(Svc, SweepJobMatchesLocalRunAndCaches) {
   EXPECT_EQ(stats.plan_cache_misses, 1u);
   EXPECT_EQ(stats.plan_cache_hits, 1u);
   EXPECT_EQ(stats.journal_executed, 2);
+  // The executed job ran its cells candidate-batched through the process-wide
+  // route memo; the local exp::run above already warmed the scope, so the
+  // job's pair resolutions were hits.
+  EXPECT_GT(stats.route_memo_hits, 0u);
+  EXPECT_GT(stats.route_memo_scopes, 0u);
 
   // The journal artifact exists, keyed by the plan fingerprint.
   char journal_name[64];
@@ -408,6 +413,14 @@ TEST(Svc, StatsDocumentParses) {
   (void)v.at("sweep", "sweep");
   (void)v.at("table", "table");
   (void)v.at("schedule_cache", "schedule_cache");
+  // Route-memo counters: the tune-on-miss above ranked its candidate pool
+  // batched, so the process memo has at least one scope with traffic.
+  const auto& memo = v.at("route_memo", "route_memo");
+  EXPECT_GT(memo.at("scopes", "scopes").as_i64("scopes"), 0);
+  EXPECT_GT(memo.at("hits", "hits").as_i64("hits") +
+                memo.at("misses", "misses").as_i64("misses"),
+            0);
+  EXPECT_GT(memo.at("bytes", "bytes").as_i64("bytes"), 0);
 }
 
 TEST(Svc, GarbageFramesCloseOnlyThatConnection) {
